@@ -1,0 +1,287 @@
+(* Command-line driver for the test-compaction experiments.
+
+   stc opamp  — greedy compaction of the 11 op-amp specification tests
+   stc mems   — hot/cold temperature-test elimination + cost analysis
+   stc sweep  — accuracy vs training-set size
+   stc specs  — print the specification tables *)
+
+module Experiment = Stc.Experiment
+module Device_data = Stc.Device_data
+module Compaction = Stc.Compaction
+module Metrics = Stc.Metrics
+module Cost = Stc.Cost
+module Spec = Stc.Spec
+module Order = Stc.Order
+module Report = Stc.Report
+
+open Cmdliner
+
+(* ------------------------------ options --------------------------- *)
+
+let seed =
+  Arg.(value & opt int 2005 & info [ "seed" ] ~docv:"SEED" ~doc:"Monte-Carlo seed.")
+
+let n_train =
+  Arg.(value & opt int 800 & info [ "train" ] ~docv:"N" ~doc:"Training instances.")
+
+let n_test =
+  Arg.(value & opt int 400 & info [ "test" ] ~docv:"N" ~doc:"Test instances.")
+
+let tolerance =
+  Arg.(value & opt float 0.01
+       & info [ "tolerance" ] ~docv:"FRAC"
+           ~doc:"Prediction-error tolerance e_T (fraction).")
+
+let guard =
+  Arg.(value & opt (some float) None
+       & info [ "guard" ] ~docv:"FRAC"
+           ~doc:"Guard-band boundary perturbation (fraction of the boundary).")
+
+let order_conv =
+  let parse = function
+    | "functional" -> Ok `Functional
+    | "failures" -> Ok `Failures
+    | "correlation" -> Ok `Correlation
+    | "cluster" -> Ok `Cluster
+    | s -> Error (`Msg (Printf.sprintf "unknown order %S" s))
+  in
+  let print fmt o =
+    Format.pp_print_string fmt
+      (match o with
+       | `Functional -> "functional"
+       | `Failures -> "failures"
+       | `Correlation -> "correlation"
+       | `Cluster -> "cluster")
+  in
+  Arg.conv (parse, print)
+
+let order =
+  Arg.(value & opt order_conv `Functional
+       & info [ "order" ] ~docv:"STRATEGY"
+           ~doc:"Examination order: functional | failures | correlation | cluster.")
+
+let learner_conv =
+  let parse = function
+    | "svr" -> Ok `Svr
+    | "svc" -> Ok `Svc
+    | s -> Error (`Msg (Printf.sprintf "unknown learner %S" s))
+  in
+  let print fmt l =
+    Format.pp_print_string fmt (match l with `Svr -> "svr" | `Svc -> "svc")
+  in
+  Arg.conv (parse, print)
+
+let learner =
+  Arg.(value & opt learner_conv `Svr
+       & info [ "learner" ] ~docv:"L" ~doc:"Statistical model: svr | svc.")
+
+let grid_resolution =
+  Arg.(value & opt (some int) None
+       & info [ "grid" ] ~docv:"RES"
+           ~doc:"Enable grid training-data compaction at this resolution.")
+
+let parallel =
+  Arg.(value & flag
+       & info [ "parallel" ]
+           ~doc:"Fan the Monte-Carlo simulations out across CPU cores \
+                 (deterministic per seed, but a different stream than the \
+                 sequential generator).")
+
+let make_config (base : Compaction.config) ~tolerance ~guard ~learner
+    ~grid_resolution =
+  let learner =
+    match learner with
+    | `Svr -> Compaction.Epsilon_svr { c = 10.0; epsilon = 0.1; gamma = None }
+    | `Svc -> Compaction.C_svc { c = 10.0; gamma = None }
+  in
+  let grid =
+    Option.map
+      (fun resolution -> { Stc.Grid_compact.default_config with resolution })
+      grid_resolution
+  in
+  {
+    base with
+    Compaction.tolerance;
+    learner;
+    grid;
+    guard_fraction =
+      (match guard with Some g -> g | None -> base.Compaction.guard_fraction);
+  }
+
+let print_flow_metrics flow test =
+  let counts = Compaction.evaluate_flow flow test in
+  Printf.printf
+    "escape %s  loss %s  guard %s  (test yield %.1f%%)\n"
+    (Report.pct (Metrics.escape_pct counts))
+    (Report.pct (Metrics.loss_pct counts))
+    (Report.pct (Metrics.guard_pct counts))
+    (Metrics.yield_pct counts)
+
+(* ------------------------------ opamp ----------------------------- *)
+
+let run_opamp seed n_train n_test tolerance guard order learner grid_resolution
+    parallel =
+  Printf.printf "generating %d op-amp instances (seed %d)...\n%!"
+    (n_train + n_test) seed;
+  let train, test = Experiment.generate_opamp ~parallel ~seed ~n_train ~n_test () in
+  Printf.printf "train yield %.1f%%, test yield %.1f%%\n"
+    (100.0 *. Device_data.yield_fraction train)
+    (100.0 *. Device_data.yield_fraction test);
+  let config =
+    make_config Experiment.opamp_config ~tolerance ~guard ~learner
+      ~grid_resolution
+  in
+  let order =
+    match order with
+    | `Functional -> Order.Given Experiment.opamp_examination_order
+    | `Failures -> Order.By_failure_count
+    | `Correlation -> Order.By_correlation
+    | `Cluster -> Order.By_cluster 0.8
+  in
+  let result = Compaction.greedy ~order config ~train ~test in
+  let specs = Device_data.specs train in
+  List.iter
+    (fun s ->
+      Printf.printf "  %-24s e_p=%5.2f%%  %s\n"
+        specs.(s.Compaction.spec_index).Spec.name
+        (100.0 *. s.Compaction.error)
+        (if s.Compaction.accepted then "eliminated" else "kept"))
+    result.Compaction.steps;
+  Printf.printf "kept %d of %d tests; "
+    (Array.length result.Compaction.flow.Compaction.kept)
+    (Array.length specs);
+  print_flow_metrics result.Compaction.flow test
+
+let opamp_cmd =
+  let term =
+    Term.(const run_opamp $ seed $ n_train $ n_test $ tolerance $ guard $ order
+          $ learner $ grid_resolution $ parallel)
+  in
+  Cmd.v (Cmd.info "opamp" ~doc:"Greedy compaction of the op-amp test set") term
+
+(* ------------------------------- mems ----------------------------- *)
+
+let run_mems seed n_train n_test tolerance guard learner grid_resolution
+    parallel =
+  Printf.printf "generating %d MEMS instances (seed %d)...\n%!"
+    (n_train + n_test) seed;
+  let train, test = Experiment.generate_mems ~parallel ~seed ~n_train ~n_test () in
+  Printf.printf "train yield %.1f%%, test yield %.1f%%\n"
+    (100.0 *. Device_data.yield_fraction train)
+    (100.0 *. Device_data.yield_fraction test);
+  let config =
+    make_config Experiment.mems_config ~tolerance ~guard ~learner
+      ~grid_resolution
+  in
+  let both =
+    Array.append Experiment.mems_cold_indices Experiment.mems_hot_indices
+  in
+  List.iter
+    (fun (name, dropped) ->
+      let counts, _ = Compaction.eliminate config ~train ~test ~dropped in
+      Printf.printf "eliminate %-5s escape %s  loss %s  guard %s\n" name
+        (Report.pct (Metrics.escape_pct counts))
+        (Report.pct (Metrics.loss_pct counts))
+        (Report.pct (Metrics.guard_pct counts)))
+    [
+      ("-40C", Experiment.mems_cold_indices);
+      ("80C", Experiment.mems_hot_indices);
+      ("both", both);
+    ];
+  (* cost story for eliminating both temperature tests *)
+  let counts, _ = Compaction.eliminate config ~train ~test ~dropped:both in
+  let room_pass =
+    let room = Array.init 5 (fun k -> k) in
+    let count = ref 0 in
+    for i = 0 to Device_data.n_instances test - 1 do
+      if Device_data.passes_subset test ~instance:i ~subset:room then incr count
+    done;
+    !count
+  in
+  let r =
+    Cost.tri_temperature ~n:counts.Metrics.total ~room_pass
+      ~guard:counts.Metrics.guards ()
+  in
+  Printf.printf "cost: full $%.0f -> compacted $%.0f (saving %.1f%%)\n"
+    r.Cost.full r.Cost.compacted r.Cost.saving_pct
+
+let mems_cmd =
+  let term =
+    Term.(const run_mems $ seed $ n_train $ n_test $ tolerance $ guard
+          $ learner $ grid_resolution $ parallel)
+  in
+  Cmd.v
+    (Cmd.info "mems" ~doc:"Eliminate the MEMS hot/cold temperature tests")
+    term
+
+(* ------------------------------- sweep ----------------------------- *)
+
+let sizes_arg =
+  Arg.(value & opt (list int) [ 50; 100; 200; 400; 800 ]
+       & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Training sizes to sweep.")
+
+let run_sweep seed n_test sizes =
+  let n_train = List.fold_left Stdlib.max 1 sizes in
+  Printf.printf "generating %d op-amp instances (seed %d)...\n%!"
+    (n_train + n_test) seed;
+  let train, test = Experiment.generate_opamp ~seed ~n_train ~n_test () in
+  let dropped = [| 0; 1; 2; 5; 6; 8; 9; 10 |] in
+  List.iter
+    (fun n ->
+      let subset =
+        Device_data.make
+          ~specs:(Device_data.specs train)
+          ~values:(Array.sub (Device_data.values train) 0 n)
+      in
+      let counts, _ =
+        Compaction.eliminate Experiment.opamp_config ~train:subset ~test ~dropped
+      in
+      Printf.printf "n=%5d  escape %s  loss %s  guard %s\n" n
+        (Report.pct (Metrics.escape_pct counts))
+        (Report.pct (Metrics.loss_pct counts))
+        (Report.pct (Metrics.guard_pct counts)))
+    (List.sort compare sizes)
+
+let sweep_cmd =
+  let term = Term.(const run_sweep $ seed $ n_test $ sizes_arg) in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Prediction accuracy vs training-set size (Fig. 6)")
+    term
+
+(* ------------------------------- specs ----------------------------- *)
+
+let run_specs () =
+  let render title specs =
+    let rows =
+      Array.to_list
+        (Array.map
+           (fun s ->
+             [
+               s.Spec.name;
+               s.Spec.unit_label;
+               Report.g3 s.Spec.nominal;
+               Printf.sprintf "%s..%s" (Report.g3 s.Spec.range.Spec.lower)
+                 (Report.g3 s.Spec.range.Spec.upper);
+             ])
+           specs)
+    in
+    print_string
+      (Report.table ~title ~header:[ "specification"; "unit"; "nominal"; "range" ]
+         rows);
+    print_newline ()
+  in
+  render "Op-amp (Table 1)" Experiment.opamp_specs;
+  render "MEMS accelerometer (Table 2, per temperature)" Experiment.mems_room_specs
+
+let specs_cmd =
+  Cmd.v (Cmd.info "specs" ~doc:"Print the specification tables")
+    Term.(const run_specs $ const ())
+
+(* ------------------------------- main ------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "stc" ~version:"1.0.0"
+      ~doc:"Specification test compaction for analog circuits and MEMS"
+  in
+  exit (Cmd.eval (Cmd.group info [ opamp_cmd; mems_cmd; sweep_cmd; specs_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_device.ml: Array List Printf Stc Stc_numerics Stc_process

@@ -1,0 +1,1 @@
+examples/filter_compaction.ml: Array Complex Float List Printf Stc Stc_circuit Stc_numerics Stc_process

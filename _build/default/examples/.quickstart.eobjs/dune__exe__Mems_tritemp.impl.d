@@ -1,0 +1,1 @@
+examples/mems_tritemp.ml: Array List Printf Stc

@@ -1,0 +1,1 @@
+examples/mems_tritemp.mli:

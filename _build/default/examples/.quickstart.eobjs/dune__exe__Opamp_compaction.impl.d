@@ -1,0 +1,1 @@
+examples/opamp_compaction.ml: Array List Printf Stc

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Stc Stc_numerics

@@ -1,0 +1,1 @@
+lib/circuit/dc.ml: Array Float List Mna Netlist Stc_numerics Wave

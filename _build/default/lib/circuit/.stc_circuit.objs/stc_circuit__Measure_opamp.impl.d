@@ -1,0 +1,1 @@
+lib/circuit/measure_opamp.ml: Ac Array Complex Dc Float Mna Opamp Printf Seq Stc_numerics Tran Waveform

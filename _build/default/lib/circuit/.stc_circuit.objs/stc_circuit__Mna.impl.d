@@ -1,0 +1,1 @@
+lib/circuit/mna.ml: Array Complex Hashtbl List Mosfet Netlist Stc_numerics Wave

@@ -1,0 +1,1 @@
+lib/circuit/opamp.ml: Array Mna Mosfet Netlist Stc_numerics Wave

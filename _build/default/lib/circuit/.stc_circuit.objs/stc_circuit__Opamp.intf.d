@@ -1,0 +1,1 @@
+lib/circuit/opamp.mli: Mna Netlist Stc_numerics

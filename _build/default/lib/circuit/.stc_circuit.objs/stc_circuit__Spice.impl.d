@@ -1,0 +1,1 @@
+lib/circuit/spice.ml: Array Buffer Float Hashtbl List Mosfet Netlist Printf String Wave

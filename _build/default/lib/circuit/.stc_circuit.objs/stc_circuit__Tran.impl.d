@@ -1,0 +1,1 @@
+lib/circuit/tran.ml: Array Dc Float List Mna Netlist Stc_numerics Wave

@@ -1,0 +1,1 @@
+lib/circuit/wave.ml: Array Float List Stc_numerics

@@ -1,0 +1,32 @@
+module Cmat = Stc_numerics.Cmat
+
+type point = { freq : float; solution : Complex.t array }
+
+let solve_at g c b freq =
+  let omega = 2.0 *. Float.pi *. freq in
+  let a = Cmat.combine g c omega in
+  Cmat.solve a b
+
+let sweep sys ~op ~freqs =
+  let g, c, b = Mna.ac_matrices sys ~op in
+  Array.map (fun freq -> { freq; solution = solve_at g c b freq }) freqs
+
+let solve_one sys ~op ~freq =
+  let g, c, b = Mna.ac_matrices sys ~op in
+  solve_at g c b freq
+
+let node_response sys points node =
+  let idx = Mna.node_index sys node in
+  Array.map
+    (fun { freq; solution } ->
+      let z = if idx < 0 then Complex.zero else solution.(idx) in
+      (freq, z))
+    points
+
+let magnitude = Complex.norm
+
+let db z =
+  let m = Complex.norm z in
+  if m <= 0.0 then Float.neg_infinity else 20.0 *. log10 m
+
+let phase_deg z = Complex.arg z *. 180.0 /. Float.pi

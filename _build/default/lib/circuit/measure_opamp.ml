@@ -1,0 +1,177 @@
+module Roots = Stc_numerics.Roots
+
+type values = {
+  gain : float;
+  bandwidth_3db : float;
+  unity_gain_freq : float;
+  slew_rate : float;
+  rise_time : float;
+  overshoot : float;
+  settling_time : float;
+  quiescent_current : float;
+  common_mode_gain : float;
+  power_supply_gain : float;
+  short_circuit_current : float;
+}
+
+let names =
+  [|
+    "gain"; "3-dB bandwidth"; "unity gain frequency"; "slew rate"; "rise time";
+    "overshoot"; "settling time"; "quiescent current"; "common mode gain";
+    "power supply gain"; "short circuit current";
+  |]
+
+let units =
+  [| "-"; "Hz"; "MHz"; "V/us"; "us"; "-"; "ns"; "uA"; "-"; "-"; "mA" |]
+
+let to_array v =
+  [|
+    v.gain; v.bandwidth_3db; v.unity_gain_freq; v.slew_rate; v.rise_time;
+    v.overshoot; v.settling_time; v.quiescent_current; v.common_mode_gain;
+    v.power_supply_gain; v.short_circuit_current;
+  |]
+
+exception Measurement_failed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Measurement_failed s)) fmt
+
+let solve_dc p bench =
+  let sys = Mna.build (Opamp.netlist p bench) in
+  let x0 = Opamp.initial_guess p sys in
+  match Dc.solve ~x0 sys with
+  | op -> (sys, op)
+  | exception Dc.No_convergence msg -> fail "DC (%s)" msg
+
+(* |vout| at [freq] for a bench whose AC drive has magnitude 1 *)
+let response_mag sys ~op ~freq =
+  let x = Ac.solve_one sys ~op ~freq in
+  let idx = Mna.node_index sys "out" in
+  Complex.norm x.(idx)
+
+(* Find the frequency at which the response magnitude falls to [target],
+   scanning a log grid for a bracket and refining with Brent on log f. *)
+let crossing_freq sys ~op ~target ~f_lo ~f_hi =
+  let g logf = response_mag sys ~op ~freq:(10.0 ** logf) -. target in
+  match Roots.find_bracket g ~lo:(log10 f_lo) ~hi:(log10 f_hi) ~steps:60 with
+  | None -> None
+  | Some (a, b) -> Some (10.0 ** Roots.brent ~tol:1e-6 g a b)
+
+let measure_open_loop p =
+  let sys, op = solve_dc p Opamp.Open_loop_gain in
+  let iq = -.Mna.branch_current sys op "vdd" in
+  let gain = response_mag sys ~op ~freq:1.0 in
+  if gain <= 1.0 then fail "open-loop gain below unity (%.3g)" gain;
+  let bw =
+    match
+      crossing_freq sys ~op ~target:(gain /. sqrt 2.0) ~f_lo:1.0 ~f_hi:1e6
+    with
+    | Some f -> f
+    | None -> fail "no 3-dB point found"
+  in
+  let ugf =
+    match crossing_freq sys ~op ~target:1.0 ~f_lo:bw ~f_hi:1e9 with
+    | Some f -> f
+    | None -> fail "no unity-gain crossing found"
+  in
+  (gain, bw, ugf, iq)
+
+let measure_mag p bench ~freq =
+  let sys, op = solve_dc p bench in
+  response_mag sys ~op ~freq
+
+(* Trim a step-response waveform so that t = 0 is the start of the input
+   edge; measurements are then relative to the stimulus. *)
+let step_window waveform ~t_step =
+  let trimmed =
+    Array.of_seq
+      (Seq.filter (fun (t, _) -> t >= t_step) (Array.to_seq waveform))
+  in
+  if Array.length trimmed < 8 then fail "transient window too short";
+  Array.map (fun (t, v) -> (t -. t_step, v)) trimmed
+
+let run_transient p bench ~tstop ~dt =
+  let sys = Mna.build (Opamp.netlist p bench) in
+  match Tran.run sys ~tstop ~dt with
+  | result -> Tran.node_waveform sys result "out"
+  | exception Tran.No_convergence t -> fail "transient diverged at t=%.3g" t
+  | exception Dc.No_convergence msg -> fail "transient DC (%s)" msg
+
+let measure_small_step p =
+  let amplitude = 0.1 in
+  let t_step = 0.2e-6 in
+  let tstop = 4.0e-6 in
+  let w = run_transient p (Opamp.Unity_small_step amplitude) ~tstop ~dt:(tstop /. 1200.0) in
+  let w = step_window w ~t_step in
+  let overshoot = Waveform.overshoot w in
+  let settling =
+    match Waveform.settling_time ~band:0.01 w with
+    | Some t -> t
+    | None -> fail "output never settles"
+  in
+  (overshoot, settling)
+
+let measure_large_step p =
+  let amplitude = 4.0 in
+  let t_step = 0.5e-6 in
+  let tstop = 18.0e-6 in
+  let w = run_transient p (Opamp.Unity_large_step amplitude) ~tstop ~dt:(tstop /. 1200.0) in
+  let w = step_window w ~t_step in
+  let slew =
+    match Waveform.slew_rate w with
+    | Some s -> s
+    | None -> fail "no 20-80%% slew window found"
+  in
+  let rise =
+    match Waveform.rise_time w with
+    | Some t -> t
+    | None -> fail "no 10-90%% rise found"
+  in
+  (slew, rise)
+
+let measure_short_circuit p =
+  let sys, op = solve_dc p Opamp.Short_circuit in
+  Float.abs (Mna.branch_current sys op "vshort")
+
+let phase_margin p =
+  let sys, op = solve_dc p Opamp.Open_loop_gain in
+  let gain = response_mag sys ~op ~freq:1.0 in
+  if gain <= 1.0 then fail "open-loop gain below unity (%.3g)" gain;
+  let ugf =
+    match crossing_freq sys ~op ~target:1.0 ~f_lo:1.0 ~f_hi:1e9 with
+    | Some f -> f
+    | None -> fail "no unity-gain crossing found"
+  in
+  let x = Ac.solve_one sys ~op ~freq:ugf in
+  let out = x.(Mna.node_index sys "out") in
+  (* the bench inverts through two stages: the open-loop phase starts at
+     180 deg (positive output for positive input at DC after the servo);
+     margin = 180 + phase relative to the DC phase *)
+  let phase_dc =
+    let x0 = Ac.solve_one sys ~op ~freq:1.0 in
+    Ac.phase_deg x0.(Mna.node_index sys "out")
+  in
+  let rel = Ac.phase_deg out -. phase_dc in
+  (* unwrap into (-360, 0] *)
+  let rel = if rel > 0.0 then rel -. 360.0 else rel in
+  180.0 +. rel
+
+let measure p =
+  let gain, bw, ugf, iq = measure_open_loop p in
+  let cm = measure_mag p Opamp.Common_mode ~freq:10.0 in
+  let ps = measure_mag p Opamp.Power_supply ~freq:10.0 in
+  let overshoot, settling = measure_small_step p in
+  let slew, rise = measure_large_step p in
+  let isc = measure_short_circuit p in
+  {
+    gain;
+    bandwidth_3db = bw;
+    unity_gain_freq = ugf /. 1e6;
+    slew_rate = slew /. 1e6;
+    rise_time = rise *. 1e6;
+    overshoot;
+    settling_time = settling *. 1e9;
+    quiescent_current = iq *. 1e6;
+    common_mode_gain = cm;
+    power_supply_gain = ps;
+    short_circuit_current = isc *. 1e3;
+  }

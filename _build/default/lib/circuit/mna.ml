@@ -1,0 +1,229 @@
+module Vec = Stc_numerics.Vec
+module Mat = Stc_numerics.Mat
+module Cmat = Stc_numerics.Cmat
+
+type t = {
+  netlist : Netlist.t;
+  node_of_name : (string, int) Hashtbl.t;
+  branch_of_name : (string, int) Hashtbl.t;
+  size : int;
+}
+
+let needs_branch = function
+  | Netlist.Vsource _ | Netlist.Vcvs _ | Netlist.Inductor _ -> true
+  | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Isource _
+  | Netlist.Vccs _ | Netlist.Mosfet _ ->
+    false
+
+let build netlist =
+  (match Netlist.validate netlist with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Mna.build: " ^ msg));
+  let node_of_name = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace node_of_name n i) (Netlist.nodes netlist);
+  let n_nodes = Hashtbl.length node_of_name in
+  let branch_of_name = Hashtbl.create 8 in
+  let next = ref n_nodes in
+  List.iter
+    (fun e ->
+      if needs_branch e then begin
+        Hashtbl.replace branch_of_name (Netlist.element_name e) !next;
+        incr next
+      end)
+    netlist.Netlist.elements;
+  { netlist; node_of_name; branch_of_name; size = !next }
+
+let size t = t.size
+
+let netlist t = t.netlist
+
+let node_index t name =
+  if Netlist.is_ground name then -1
+  else
+    match Hashtbl.find_opt t.node_of_name name with
+    | Some i -> i
+    | None -> raise Not_found
+
+let node_voltage t x name =
+  let i = node_index t name in
+  if i < 0 then 0.0 else x.(i)
+
+let branch_current t x name =
+  match Hashtbl.find_opt t.branch_of_name name with
+  | Some i -> x.(i)
+  | None -> raise Not_found
+
+type cap = { cp : int; cn : int; value : float }
+
+let capacitances t ~op =
+  ignore op;
+  let out = ref [] in
+  List.iter
+    (fun e ->
+      match e with
+      | Netlist.Capacitor { p; n; c; _ } ->
+        out := { cp = node_index t p; cn = node_index t n; value = c } :: !out
+      | Netlist.Mosfet { d; g; s; model; w; l; _ } ->
+        let id = node_index t d and ig = node_index t g and is = node_index t s in
+        out :=
+          { cp = ig; cn = is; value = Mosfet.cgs model ~w ~l }
+          :: { cp = ig; cn = id; value = Mosfet.cgd model ~w ~l }
+          :: { cp = id; cn = -1; value = Mosfet.cdb model ~w ~l }
+          :: !out
+      | Netlist.Resistor _ | Netlist.Inductor _ | Netlist.Vsource _
+      | Netlist.Isource _ | Netlist.Vcvs _ | Netlist.Vccs _ ->
+        ())
+    t.netlist.Netlist.elements;
+  Array.of_list (List.rev !out)
+
+(* Accumulate [v] into G at (i, j), skipping ground rows/columns. *)
+let gadd g i j v = if i >= 0 && j >= 0 then Mat.add_to g i j v
+
+let badd b i v = if i >= 0 then b.(i) <- b.(i) +. v
+
+type inductor_treatment =
+  | Short
+  | Companion of { h : float; i_prev : string -> float }
+
+let stamp_conductance g p n value =
+  gadd g p p value;
+  gadd g n n value;
+  gadd g p n (-.value);
+  gadd g n p (-.value)
+
+(* VCCS: current [gm * (v cp - v cn)] flowing p -> n through the element. *)
+let stamp_vccs g p n cp cn gm =
+  gadd g p cp gm;
+  gadd g p cn (-.gm);
+  gadd g n cp (-.gm);
+  gadd g n cn gm
+
+let stamp_mosfet g b t x ~name:_ ~d ~gate ~s ~model ~w ~l =
+  let vd = if d >= 0 then x.(d) else 0.0 in
+  let vg = if gate >= 0 then x.(gate) else 0.0 in
+  let vs = if s >= 0 then x.(s) else 0.0 in
+  let op = Mosfet.evaluate model ~w ~l ~vgs:(vg -. vs) ~vds:(vd -. vs) in
+  ignore t;
+  (* linearised drain current: i = ids0 + gm*(vgs - vgs0) + gds*(vds - vds0) *)
+  let ieq = op.Mosfet.ids -. (op.Mosfet.gm *. op.Mosfet.vgs)
+            -. (op.Mosfet.gds *. op.Mosfet.vds)
+  in
+  stamp_vccs g d s gate s op.Mosfet.gm;
+  stamp_conductance g d s op.Mosfet.gds;
+  badd b d (-.ieq);
+  badd b s ieq
+
+let stamp_resistive t ~x ~time ~gmin ~source_scale ~inductors =
+  let n = t.size in
+  let g = Mat.create n n 0.0 in
+  let b = Vec.create n 0.0 in
+  let branch name = Hashtbl.find t.branch_of_name name in
+  List.iter
+    (fun e ->
+      match e with
+      | Netlist.Resistor { p; n = np; r; _ } ->
+        stamp_conductance g (node_index t p) (node_index t np) (1.0 /. r)
+      | Netlist.Capacitor _ -> ()
+      | Netlist.Inductor { name; p; n = np; l; _ } ->
+        let ip = node_index t p and inn = node_index t np in
+        let br = branch name in
+        (* KCL: branch current leaves p, enters n *)
+        gadd g ip br 1.0;
+        gadd g inn br (-1.0);
+        (* branch equation *)
+        gadd g br ip 1.0;
+        gadd g br inn (-1.0);
+        (match inductors with
+         | Short -> ()
+         | Companion { h; i_prev } ->
+           (* backward Euler: v = (L/h) (i - i_prev) *)
+           gadd g br br (-.(l /. h));
+           badd b br (-.(l /. h *. i_prev name)))
+      | Netlist.Vsource { name; p; n = np; wave; _ } ->
+        let ip = node_index t p and inn = node_index t np in
+        let br = branch name in
+        gadd g ip br 1.0;
+        gadd g inn br (-1.0);
+        gadd g br ip 1.0;
+        gadd g br inn (-1.0);
+        badd b br (source_scale *. Wave.value wave time)
+      | Netlist.Isource { p; n = np; wave; _ } ->
+        let i = source_scale *. Wave.value wave time in
+        badd b (node_index t p) (-.i);
+        badd b (node_index t np) i
+      | Netlist.Vcvs { name; p; n = np; cp; cn; gain; _ } ->
+        let ip = node_index t p and inn = node_index t np in
+        let icp = node_index t cp and icn = node_index t cn in
+        let br = branch name in
+        gadd g ip br 1.0;
+        gadd g inn br (-1.0);
+        gadd g br ip 1.0;
+        gadd g br inn (-1.0);
+        gadd g br icp (-.gain);
+        gadd g br icn gain
+      | Netlist.Vccs { p; n = np; cp; cn; gm; _ } ->
+        stamp_vccs g (node_index t p) (node_index t np) (node_index t cp)
+          (node_index t cn) gm
+      | Netlist.Mosfet { name; d; g = gate; s; model; w; l } ->
+        stamp_mosfet g b t x ~name ~d:(node_index t d) ~gate:(node_index t gate)
+          ~s:(node_index t s) ~model ~w ~l)
+    t.netlist.Netlist.elements;
+  (* gmin from every node voltage unknown to ground *)
+  if gmin > 0.0 then begin
+    let n_nodes = Hashtbl.length t.node_of_name in
+    for i = 0 to n_nodes - 1 do
+      Mat.add_to g i i gmin
+    done
+  end;
+  (g, b)
+
+let ac_matrices t ~op =
+  let n = t.size in
+  (* resistive small-signal part: reuse the DC stamper with sources off,
+     then overwrite the source rows' rhs with AC magnitudes *)
+  let g, _ = stamp_resistive t ~x:op ~time:0.0 ~gmin:1e-12 ~source_scale:0.0
+               ~inductors:Short
+  in
+  (* the DC stamper shorted the inductors; the branch equation row needs
+     the -L term in the C matrix, which we add below, so G rows are fine *)
+  let c = Mat.create n n 0.0 in
+  let cadd i j v = if i >= 0 && j >= 0 then Mat.add_to c i j v in
+  let b = Array.make n Complex.zero in
+  List.iter
+    (fun e ->
+      match e with
+      | Netlist.Capacitor { p; n = np; c = cv; _ } ->
+        let ip = node_index t p and inn = node_index t np in
+        cadd ip ip cv;
+        cadd inn inn cv;
+        cadd ip inn (-.cv);
+        cadd inn ip (-.cv)
+      | Netlist.Inductor { name; l; _ } ->
+        let br = Hashtbl.find t.branch_of_name name in
+        cadd br br (-.l)
+      | Netlist.Vsource { name; ac; _ } ->
+        if ac <> 0.0 then begin
+          let br = Hashtbl.find t.branch_of_name name in
+          b.(br) <- { Complex.re = ac; im = 0.0 }
+        end
+      | Netlist.Isource { p; n = np; ac; _ } ->
+        if ac <> 0.0 then begin
+          let ip = node_index t p and inn = node_index t np in
+          if ip >= 0 then b.(ip) <- Complex.sub b.(ip) { Complex.re = ac; im = 0.0 };
+          if inn >= 0 then b.(inn) <- Complex.add b.(inn) { Complex.re = ac; im = 0.0 }
+        end
+      | Netlist.Mosfet { d; g = gate; s; model; w; l; _ } ->
+        let id = node_index t d and ig = node_index t gate and is = node_index t s in
+        let stamp_c2 p n cv =
+          cadd p p cv;
+          cadd n n cv;
+          cadd p n (-.cv);
+          cadd n p (-.cv)
+        in
+        stamp_c2 ig is (Mosfet.cgs model ~w ~l);
+        stamp_c2 ig id (Mosfet.cgd model ~w ~l);
+        cadd id id (Mosfet.cdb model ~w ~l)
+      | Netlist.Resistor _ | Netlist.Vcvs _ | Netlist.Vccs _ -> ())
+    t.netlist.Netlist.elements;
+  ignore Cmat.create;
+  (g, c, b)

@@ -1,0 +1,69 @@
+(** Modified nodal analysis: unknown numbering and element stamping.
+
+    Unknowns are the non-ground node voltages followed by one branch
+    current per voltage-defined element (voltage sources, VCVS,
+    inductors). Sign conventions:
+
+    - KCL rows read "sum of currents leaving the node = injections".
+    - A branch current is the current flowing from the element's [p]
+      terminal through the element to its [n] terminal; for a supply
+      [Vsource p:"vdd" n:"0"] the current *delivered* to the circuit is
+      the negative of the branch current. *)
+
+type t
+
+val build : Netlist.t -> t
+(** Numbers the unknowns. Raises [Invalid_argument] if the netlist
+    fails {!Netlist.validate}. *)
+
+val size : t -> int
+(** Total number of unknowns. *)
+
+val netlist : t -> Netlist.t
+
+val node_index : t -> Netlist.node -> int
+(** Index of a node voltage unknown; -1 for ground. Raises [Not_found]
+    for unknown node names. *)
+
+val node_voltage : t -> Stc_numerics.Vec.t -> Netlist.node -> float
+(** Reads a node voltage out of a solution vector (0 for ground). *)
+
+val branch_current : t -> Stc_numerics.Vec.t -> string -> float
+(** Branch current of a voltage-defined element, by element name. *)
+
+type cap = { cp : int; cn : int; value : float }
+(** A (possibly device-internal) linear capacitance between two
+    unknown indices (-1 = ground). *)
+
+val capacitances : t -> op:Stc_numerics.Vec.t -> cap array
+(** All capacitances: explicit capacitors plus MOSFET cgs/cgd/cdb.
+    [op] is unused by the level-1 model (constant caps) but kept in the
+    signature so a bias-dependent model can slot in. *)
+
+type inductor_treatment =
+  | Short  (** DC: inductors are 0 V branches *)
+  | Companion of { h : float; i_prev : string -> float }
+      (** transient backward-Euler companion *)
+
+val stamp_resistive :
+  t ->
+  x:Stc_numerics.Vec.t ->
+  time:float ->
+  gmin:float ->
+  source_scale:float ->
+  inductors:inductor_treatment ->
+  Stc_numerics.Mat.t * Stc_numerics.Vec.t
+(** Assembles the resistive (non-capacitive) part of the linearised MNA
+    system around candidate solution [x]: conductances, linearised
+    MOSFET companion models, independent sources evaluated at [time]
+    and scaled by [source_scale] (for source-stepping homotopy), and a
+    [gmin] leak from every node to ground. *)
+
+val ac_matrices :
+  t -> op:Stc_numerics.Vec.t ->
+  Stc_numerics.Mat.t * Stc_numerics.Mat.t * Complex.t array
+(** [ac_matrices sys ~op] returns [(g, c, b)] such that the small-signal
+    phasor solution at angular frequency ω is [(g + jωc) x = b]:
+    [g] holds conductances and MOSFET gm/gds linearised at the
+    operating point [op], [c] holds capacitances and inductances, [b]
+    holds the AC source magnitudes. *)

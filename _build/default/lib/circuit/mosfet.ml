@@ -1,0 +1,89 @@
+type kind = Nmos | Pmos
+
+type params = {
+  kind : kind;
+  vt0 : float;
+  kp : float;
+  lambda : float;
+  cox : float;
+  cov : float;
+  cj : float;
+}
+
+let default_nmos =
+  {
+    kind = Nmos;
+    vt0 = 0.7;
+    kp = 110e-6;
+    lambda = 0.04;
+    cox = 3.8e-3;
+    cov = 0.35e-9;
+    cj = 0.9e-9;
+  }
+
+let default_pmos =
+  {
+    kind = Pmos;
+    vt0 = 0.8;
+    kp = 38e-6;
+    lambda = 0.05;
+    cox = 3.8e-3;
+    cov = 0.35e-9;
+    cj = 1.1e-9;
+  }
+
+type op = {
+  ids : float;
+  gm : float;
+  gds : float;
+  vgs : float;
+  vds : float;
+  region : [ `Cutoff | `Triode | `Saturation ];
+}
+
+(* Evaluate the NMOS equations on (possibly mirrored) voltages; a small
+   subthreshold conductance keeps the Jacobian nonsingular in cutoff. *)
+let eval_nmos p ~beta ~vgs ~vds =
+  let vov = vgs -. p.vt0 in
+  if vov <= 0.0 then
+    let gleak = 1e-12 in
+    { ids = gleak *. vds; gm = 0.0; gds = gleak; vgs; vds; region = `Cutoff }
+  else if vds < vov then begin
+    (* triode *)
+    let clm = 1.0 +. (p.lambda *. vds) in
+    let ids = beta *. ((vov *. vds) -. (0.5 *. vds *. vds)) *. clm in
+    let gm = beta *. vds *. clm in
+    let gds =
+      (beta *. (vov -. vds) *. clm)
+      +. (beta *. ((vov *. vds) -. (0.5 *. vds *. vds)) *. p.lambda)
+    in
+    { ids; gm; gds; vgs; vds; region = `Triode }
+  end
+  else begin
+    (* saturation *)
+    let clm = 1.0 +. (p.lambda *. vds) in
+    let ids = 0.5 *. beta *. vov *. vov *. clm in
+    let gm = beta *. vov *. clm in
+    let gds = 0.5 *. beta *. vov *. vov *. p.lambda in
+    { ids; gm; gds; vgs; vds; region = `Saturation }
+  end
+
+let evaluate p ~w ~l ~vgs ~vds =
+  assert (w > 0.0 && l > 0.0);
+  let beta = p.kp *. w /. l in
+  match p.kind with
+  | Nmos -> eval_nmos p ~beta ~vgs ~vds
+  | Pmos ->
+    (* mirror voltages, evaluate as NMOS, mirror the current back *)
+    let op = eval_nmos p ~beta ~vgs:(-.vgs) ~vds:(-.vds) in
+    { op with ids = -.op.ids; vgs; vds }
+
+let cgs p ~w ~l = ((2.0 /. 3.0) *. w *. l *. p.cox) +. (p.cov *. w)
+
+let cgd p ~w ~l =
+  ignore l;
+  p.cov *. w
+
+let cdb p ~w ~l =
+  ignore l;
+  p.cj *. w

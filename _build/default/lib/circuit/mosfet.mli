@@ -1,0 +1,46 @@
+(** Level-1 (square-law) MOSFET model with channel-length modulation.
+
+    This is the classic Shichman–Hodges model: simple, smooth enough for
+    Newton, and it reproduces the first-order dependencies that matter
+    for the op-amp specification correlations (gm ∝ √(W/L·Id),
+    Id,sat ∝ W/L·(Vgs−Vt)², ro ∝ 1/(λId)). *)
+
+type kind = Nmos | Pmos
+
+type params = {
+  kind : kind;
+  vt0 : float;     (** threshold voltage, V (positive magnitude for both kinds) *)
+  kp : float;      (** transconductance parameter µCox, A/V² *)
+  lambda : float;  (** channel-length modulation, 1/V *)
+  cox : float;     (** gate oxide capacitance per area, F/m² *)
+  cov : float;     (** gate overlap capacitance per width, F/m *)
+  cj : float;      (** junction capacitance per width (lumped), F/m *)
+}
+
+val default_nmos : params
+val default_pmos : params
+(** Representative 0.5 µm-era parameters. *)
+
+type op = {
+  ids : float;  (** drain current, drain→source for NMOS convention *)
+  gm : float;   (** ∂Id/∂Vgs at the operating point *)
+  gds : float;  (** ∂Id/∂Vds *)
+  vgs : float;
+  vds : float;
+  region : [ `Cutoff | `Triode | `Saturation ];
+}
+
+val evaluate : params -> w:float -> l:float -> vgs:float -> vds:float -> op
+(** Evaluates the device. For PMOS pass terminal voltages as-is
+    (vgs, vds negative in normal operation); the model internally
+    mirrors them. Currents returned follow the NMOS sign convention
+    mirrored back, i.e. [ids] is the current flowing drain→source. *)
+
+val cgs : params -> w:float -> l:float -> float
+(** Gate–source capacitance (2/3 W L Cox + overlap). *)
+
+val cgd : params -> w:float -> l:float -> float
+(** Gate–drain overlap capacitance. *)
+
+val cdb : params -> w:float -> l:float -> float
+(** Drain–bulk junction capacitance (lumped to ground). *)

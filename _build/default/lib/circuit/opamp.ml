@@ -1,0 +1,148 @@
+module Vec = Stc_numerics.Vec
+
+type params = {
+  w1 : float; l1 : float;
+  w3 : float; l3 : float;
+  w5 : float; l5 : float;
+  w6 : float; l6 : float;
+  w7 : float; l7 : float;
+  w8 : float; l8 : float;
+  cc : float;
+  cl : float;
+  rz : float;
+  ibias : float;
+  vdd : float;
+  vcm : float;
+}
+
+(* Channel-length modulation raised above the library default so the
+   open-loop gain lands near the paper's nominal of 14000. *)
+let nmos_model = { Mosfet.default_nmos with lambda = 0.10 }
+let pmos_model = { Mosfet.default_pmos with lambda = 0.12 }
+
+let nominal =
+  {
+    w1 = 18e-6; l1 = 1e-6;
+    w3 = 2e-6; l3 = 1e-6;
+    w5 = 4e-6; l5 = 1e-6;
+    w6 = 182e-6; l6 = 1e-6;
+    w7 = 182e-6; l7 = 1e-6;
+    w8 = 4e-6; l8 = 1e-6;
+    cc = 5e-12;
+    cl = 40e-12;
+    rz = 850.0;
+    ibias = 2.2e-6;
+    vdd = 5.0;
+    vcm = 2.5;
+  }
+
+type bench =
+  | Open_loop_gain
+  | Common_mode
+  | Power_supply
+  | Unity_small_step of float
+  | Unity_large_step of float
+  | Short_circuit
+
+(* The amplifier core. [inm] is the name of the node wired to the
+   inverting-input gate, so unity-feedback benches can pass "out". *)
+let core p ~inm =
+  let open Netlist in
+  [
+    nmos "m1" ~d:"d1" ~g:inm ~s:"tail" ~model:nmos_model ~w:p.w1 ~l:p.l1 ();
+    nmos "m2" ~d:"d2" ~g:"inp" ~s:"tail" ~model:nmos_model ~w:p.w1 ~l:p.l1 ();
+    pmos "m3" ~d:"d1" ~g:"d1" ~s:"vdd" ~model:pmos_model ~w:p.w3 ~l:p.l3 ();
+    pmos "m4" ~d:"d2" ~g:"d1" ~s:"vdd" ~model:pmos_model ~w:p.w3 ~l:p.l3 ();
+    nmos "m5" ~d:"tail" ~g:"bias" ~s:"0" ~model:nmos_model ~w:p.w5 ~l:p.l5 ();
+    pmos "m6" ~d:"out" ~g:"d2" ~s:"vdd" ~model:pmos_model ~w:p.w6 ~l:p.l6 ();
+    nmos "m7" ~d:"out" ~g:"bias" ~s:"0" ~model:nmos_model ~w:p.w7 ~l:p.l7 ();
+    nmos "m8" ~d:"bias" ~g:"bias" ~s:"0" ~model:nmos_model ~w:p.w8 ~l:p.l8 ();
+    Isource { name = "iref"; p = "vdd"; n = "bias"; wave = Wave.Dc p.ibias; ac = 0.0 };
+    r "rz" "d2" "cz" p.rz;
+    c "cc" "cz" "out" p.cc;
+    c "cl" "out" "0" p.cl;
+  ]
+
+(* Values for the DC-servo bias network: the inductor closes the loop at
+   DC only; the capacitor AC-grounds the inverting input. *)
+let l_servo = 1e7
+let c_servo = 1e-2
+
+let netlist p bench =
+  let open Netlist in
+  let supply ac = Vsource { name = "vdd"; p = "vdd"; n = "0"; wave = Wave.Dc p.vdd; ac } in
+  let elements =
+    match bench with
+    | Open_loop_gain ->
+      supply 0.0
+      :: vac "vip" "inp" "0" ~dc:p.vcm ~mag:1.0
+      :: l "lfb" "out" "inm" l_servo
+      :: c "cbig" "inm" "0" c_servo
+      :: core p ~inm:"inm"
+    | Common_mode ->
+      supply 0.0
+      :: vac "vip" "inp" "0" ~dc:p.vcm ~mag:1.0
+      :: vac "vacm" "vx" "0" ~dc:0.0 ~mag:1.0
+      :: l "lfb" "out" "inm" l_servo
+      :: c "cbig" "inm" "vx" c_servo
+      :: core p ~inm:"inm"
+    | Power_supply ->
+      supply 1.0
+      :: vdc "vip" "inp" "0" p.vcm
+      :: l "lfb" "out" "inm" l_servo
+      :: c "cbig" "inm" "0" c_servo
+      :: core p ~inm:"inm"
+    | Unity_small_step amplitude ->
+      let wave =
+        Wave.Pulse
+          {
+            v1 = p.vcm -. (amplitude /. 2.0);
+            v2 = p.vcm +. (amplitude /. 2.0);
+            delay = 0.2e-6;
+            rise = 10e-9;
+            fall = 10e-9;
+            width = 1.0;
+            period = 0.0;
+          }
+      in
+      supply 0.0 :: vwave "vip" "inp" "0" wave :: core p ~inm:"out"
+    | Unity_large_step amplitude ->
+      let wave =
+        Wave.Pulse
+          {
+            v1 = p.vcm -. (amplitude /. 2.0);
+            v2 = p.vcm +. (amplitude /. 2.0);
+            delay = 0.5e-6;
+            rise = 50e-9;
+            fall = 50e-9;
+            width = 1.0;
+            period = 0.0;
+          }
+      in
+      supply 0.0 :: vwave "vip" "inp" "0" wave :: core p ~inm:"out"
+    | Short_circuit ->
+      supply 0.0
+      :: vdc "vip" "inp" "0" (p.vcm +. 1.0)
+      :: vdc "vshort" "out" "0" p.vcm
+      :: core p ~inm:"out"
+  in
+  of_elements elements
+
+let initial_guess p sys =
+  let x = Vec.create (Mna.size sys) 0.0 in
+  let preset node value =
+    match Mna.node_index sys node with
+    | exception Not_found -> ()
+    | -1 -> ()
+    | i -> x.(i) <- value
+  in
+  preset "vdd" p.vdd;
+  preset "inp" p.vcm;
+  preset "inm" p.vcm;
+  preset "out" p.vcm;
+  preset "cz" p.vcm;
+  preset "bias" 0.85;
+  preset "tail" (p.vcm -. 0.9);
+  preset "d1" (p.vdd -. 1.0);
+  preset "d2" (p.vdd -. 1.0);
+  x

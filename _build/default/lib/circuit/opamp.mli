@@ -1,0 +1,47 @@
+(** The two-stage Miller-compensated CMOS op-amp used as the paper's
+    first device under test, together with the test-bench circuits
+    from which its eleven specifications are measured.
+
+    Topology (Allen–Holberg style): NMOS differential pair (m1/m2) with
+    PMOS mirror load (m3/m4) and NMOS tail (m5), PMOS common-source
+    second stage (m6) with NMOS current-sink load (m7), diode-connected
+    bias device (m8) fed by an ideal reference current, Miller
+    compensation capacitor [cc] with nulling resistor [rz], load
+    capacitor [cl]. *)
+
+type params = {
+  (* device geometry, metres *)
+  w1 : float; l1 : float;   (** diff pair m1/m2 *)
+  w3 : float; l3 : float;   (** mirror load m3/m4 *)
+  w5 : float; l5 : float;   (** tail m5 *)
+  w6 : float; l6 : float;   (** second stage m6 (PMOS) *)
+  w7 : float; l7 : float;   (** output sink m7 *)
+  w8 : float; l8 : float;   (** bias diode m8 *)
+  cc : float;               (** compensation capacitor, F *)
+  cl : float;               (** load capacitor, F *)
+  rz : float;               (** nulling resistor, Ω *)
+  ibias : float;            (** reference current, A *)
+  vdd : float;              (** supply, V *)
+  vcm : float;              (** input common mode, V *)
+}
+
+val nominal : params
+(** Sizing that lands near the paper's Table 1 nominal column. *)
+
+type bench =
+  | Open_loop_gain    (** inverting input AC-grounded, DC servo via huge L *)
+  | Common_mode      (** both inputs driven by the same AC phasor *)
+  | Power_supply     (** AC source on VDD, inputs AC-grounded *)
+  | Unity_small_step of float  (** step amplitude, V: overshoot/settling *)
+  | Unity_large_step of float  (** step amplitude, V: slew/rise *)
+  | Short_circuit    (** output clamped to VCM, input overdriven *)
+
+val netlist : params -> bench -> Netlist.t
+(** Builds the amplifier embedded in the requested test bench. Node
+    ["out"] is the output; the supply source is named ["vdd"]; the
+    output clamp in [Short_circuit] is named ["vshort"]. *)
+
+val initial_guess : params -> Mna.t -> Stc_numerics.Vec.t
+(** A bias-aware Newton starting point (supply and common-mode nodes
+    preset), which makes the high-gain DC servo loops converge
+    reliably. *)

@@ -1,0 +1,405 @@
+let suffix_scale suffix =
+  let s = String.lowercase_ascii suffix in
+  if s = "" then Some 1.0
+  else if String.length s >= 3 && String.sub s 0 3 = "meg" then Some 1e6
+  else
+    match s.[0] with
+    | 'f' -> Some 1e-15
+    | 'p' -> Some 1e-12
+    | 'n' -> Some 1e-9
+    | 'u' -> Some 1e-6
+    | 'm' -> Some 1e-3
+    | 'k' -> Some 1e3
+    | 'g' -> Some 1e9
+    | 't' -> Some 1e12
+    | 'a' .. 'e' | 'h' .. 'j' | 'l' | 'o' .. 's' | 'v' .. 'z' ->
+      (* a bare unit like "ohm" or "v": no scaling *)
+      Some 1.0
+    | '0' .. '9' | _ -> None
+
+let parse_value text =
+  let n = String.length text in
+  if n = 0 then None
+  else begin
+    (* longest numeric prefix, treating e/E as an exponent only when
+       followed by a digit or sign *)
+    let rec numeric_end i =
+      if i >= n then i
+      else
+        match text.[i] with
+        | '0' .. '9' | '.' -> numeric_end (i + 1)
+        | '+' | '-' when i = 0 -> numeric_end (i + 1)
+        | ('e' | 'E')
+          when i + 1 < n
+               && (match text.[i + 1] with
+                   | '0' .. '9' -> true
+                   | ('+' | '-')
+                     when i + 2 < n
+                          && (match text.[i + 2] with '0' .. '9' -> true | _ -> false)
+                     ->
+                     true
+                   | _ -> false) ->
+          (* skip the exponent marker and optional sign *)
+          let j = if text.[i + 1] = '+' || text.[i + 1] = '-' then i + 2 else i + 1 in
+          numeric_end j
+        | _ -> i
+    in
+    let stop = numeric_end 0 in
+    if stop = 0 then None
+    else
+      match float_of_string_opt (String.sub text 0 stop) with
+      | None -> None
+      | Some base ->
+        (match suffix_scale (String.sub text stop (n - stop)) with
+         | None -> None
+         | Some scale -> Some (base *. scale))
+  end
+
+(* ------------------------------ parsing --------------------------- *)
+
+type model_card = { kind : Mosfet.kind; vt0 : float; kp : float; lambda : float }
+
+let logical_lines text =
+  (* split, join + continuations, drop comments/blank; keep line numbers *)
+  let raw = String.split_on_char '\n' text in
+  let numbered = List.mapi (fun i line -> (i + 1, String.trim line)) raw in
+  let rec join acc = function
+    | [] -> List.rev acc
+    | (num, line) :: rest ->
+      if line = "" || line.[0] = '*' then join acc rest
+      else if line.[0] = '+' then begin
+        match acc with
+        | (anum, aline) :: acc_rest ->
+          join ((anum, aline ^ " " ^ String.sub line 1 (String.length line - 1)) :: acc_rest) rest
+        | [] -> join acc rest (* stray continuation: ignore *)
+      end
+      else join ((num, line) :: acc) rest
+  in
+  join [] numbered
+
+let tokenize line =
+  (* parentheses and '=' become spaces so PULSE(...) and W=10u split *)
+  let cleaned =
+    String.map (fun c -> match c with '(' | ')' | '=' | ',' -> ' ' | _ -> c) line
+  in
+  String.split_on_char ' ' cleaned |> List.filter (fun t -> t <> "")
+
+exception Parse_error of int * string
+
+let fail num fmt = Printf.ksprintf (fun s -> raise (Parse_error (num, s))) fmt
+
+let value_exn num token =
+  match parse_value token with
+  | Some v -> v
+  | None -> fail num "bad numeric value %S" token
+
+(* source card tail: [DC v] [AC mag] [PULSE ...|SIN ...|PWL ...] or bare value *)
+let parse_source num tail =
+  let dc = ref 0.0 and ac = ref 0.0 and wave = ref None in
+  (* split the numeric prefix of a token list (waveform parameters stop
+     at the next keyword, e.g. "SIN(...) AC 1") *)
+  let numeric_prefix tokens =
+    let rec go acc = function
+      | token :: rest when parse_value token <> None ->
+        go (value_exn num token :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    go [] tokens
+  in
+  let rec consume = function
+    | [] -> ()
+    | token :: rest ->
+      (match String.lowercase_ascii token with
+       | "dc" ->
+         (match rest with
+          | v :: rest' ->
+            dc := value_exn num v;
+            consume rest'
+          | [] -> fail num "DC without value")
+       | "ac" ->
+         (match rest with
+          | v :: rest' ->
+            ac := value_exn num v;
+            consume rest'
+          | [] -> fail num "AC without value")
+       | "pulse" ->
+         let values, rest' = numeric_prefix rest in
+         (match values with
+          | [ v1; v2; delay; rise; fall; width ] ->
+            wave := Some (Wave.Pulse { v1; v2; delay; rise; fall; width; period = 0.0 })
+          | [ v1; v2; delay; rise; fall; width; period ] ->
+            wave := Some (Wave.Pulse { v1; v2; delay; rise; fall; width; period })
+          | _ -> fail num "PULSE needs 6 or 7 parameters");
+         consume rest'
+       | "sin" ->
+         let values, rest' = numeric_prefix rest in
+         (match values with
+          | [ offset; amplitude; freq ] | [ offset; amplitude; freq; _ ] ->
+            wave := Some (Wave.Sine { offset; amplitude; freq; phase = 0.0 })
+          | _ -> fail num "SIN needs 3 or 4 parameters");
+         consume rest'
+       | "pwl" ->
+         let values, rest' = numeric_prefix rest in
+         let rec pairs = function
+           | [] -> []
+           | t :: v :: more -> (t, v) :: pairs more
+           | [ _ ] -> fail num "PWL needs an even number of values"
+         in
+         wave := Some (Wave.Pwl (Array.of_list (pairs values)));
+         consume rest'
+       | _ ->
+         (* bare leading number = DC *)
+         dc := value_exn num token;
+         consume rest)
+  in
+  consume tail;
+  let wave = match !wave with Some w -> w | None -> Wave.Dc !dc in
+  (* an explicit DC with a wave is unusual; the wave wins, as in SPICE *)
+  (wave, !ac)
+
+let parse_model num tokens =
+  match tokens with
+  | name :: kind :: params ->
+    let kind =
+      match String.lowercase_ascii kind with
+      | "nmos" -> Mosfet.Nmos
+      | "pmos" -> Mosfet.Pmos
+      | other -> fail num "unknown model type %S" other
+    in
+    let base =
+      match kind with
+      | Mosfet.Nmos -> Mosfet.default_nmos
+      | Mosfet.Pmos -> Mosfet.default_pmos
+    in
+    let card = ref { kind; vt0 = base.Mosfet.vt0; kp = base.Mosfet.kp;
+                     lambda = base.Mosfet.lambda }
+    in
+    let rec assign = function
+      | [] -> ()
+      | key :: v :: rest ->
+        let value = value_exn num v in
+        (match String.lowercase_ascii key with
+         | "vto" | "vt0" -> card := { !card with vt0 = Float.abs value }
+         | "kp" -> card := { !card with kp = value }
+         | "lambda" -> card := { !card with lambda = value }
+         | "level" -> ()
+         | other -> fail num "unknown model parameter %S" other);
+        assign rest
+      | [ key ] -> fail num "model parameter %S without value" key
+    in
+    assign params;
+    (String.lowercase_ascii name, !card)
+  | _ -> fail num ".model needs a name and a type"
+
+let mosfet_params models num name =
+  match List.assoc_opt (String.lowercase_ascii name) models with
+  | Some card ->
+    let base =
+      match card.kind with
+      | Mosfet.Nmos -> Mosfet.default_nmos
+      | Mosfet.Pmos -> Mosfet.default_pmos
+    in
+    { base with Mosfet.vt0 = card.vt0; kp = card.kp; lambda = card.lambda }
+  | None ->
+    (match String.lowercase_ascii name with
+     | "nmos" -> Mosfet.default_nmos
+     | "pmos" -> Mosfet.default_pmos
+     | other -> fail num "undefined model %S" other)
+
+let parse text =
+  let lines = logical_lines text in
+  (* the first logical line is the title unless it looks like a card *)
+  let is_card line =
+    match line.[0] with
+    | 'r' | 'R' | 'c' | 'C' | 'l' | 'L' | 'v' | 'V' | 'i' | 'I' | 'e' | 'E'
+    | 'g' | 'G' | 'm' | 'M' | '.' ->
+      true
+    | _ -> false
+  in
+  let lines =
+    match lines with
+    | (_, first) :: rest when not (is_card first) -> rest
+    | other -> other
+  in
+  try
+    (* first pass: models *)
+    let models =
+      List.filter_map
+        (fun (num, line) ->
+          match tokenize line with
+          | directive :: rest when String.lowercase_ascii directive = ".model" ->
+            Some (parse_model num rest)
+          | _ -> None)
+        lines
+    in
+    let elements = ref [] in
+    let stopped = ref false in
+    List.iter
+      (fun (num, line) ->
+        if not !stopped then begin
+          match tokenize line with
+          | [] -> ()
+          | name :: args ->
+            let lower = String.lowercase_ascii name in
+            if lower = ".end" then stopped := true
+            else if String.length lower >= 6 && String.sub lower 0 6 = ".model" then ()
+            else if lower.[0] = '.' then fail num "unsupported directive %S" name
+            else begin
+              let element =
+                match (lower.[0], args) with
+                | 'r', [ p; n; v ] -> Netlist.r name p n (value_exn num v)
+                | 'c', [ p; n; v ] -> Netlist.c name p n (value_exn num v)
+                | 'l', [ p; n; v ] -> Netlist.l name p n (value_exn num v)
+                | 'v', p :: n :: tail ->
+                  let wave, ac = parse_source num tail in
+                  Netlist.Vsource { name; p; n; wave; ac }
+                | 'i', p :: n :: tail ->
+                  let wave, ac = parse_source num tail in
+                  Netlist.Isource { name; p; n; wave; ac }
+                | 'e', [ p; n; cp; cn; gain ] ->
+                  Netlist.Vcvs { name; p; n; cp; cn; gain = value_exn num gain }
+                | 'g', [ p; n; cp; cn; gm ] ->
+                  Netlist.Vccs { name; p; n; cp; cn; gm = value_exn num gm }
+                | 'm', d :: g :: s :: rest ->
+                  (* optional bulk terminal: detect by checking whether
+                     the 4th token is followed by a model name (i.e. the
+                     list has >= 2 entries before W/L pairs) *)
+                  let bulk_dropped =
+                    match rest with
+                    | b :: model :: _
+                      when (match String.lowercase_ascii model with
+                            | "w" | "l" -> false
+                            | _ -> parse_value b = None || parse_value model = None)
+                           && String.lowercase_ascii b <> "w"
+                           && String.lowercase_ascii b <> "l" ->
+                      (* b looks like a node, model like a model name *)
+                      List.tl rest
+                    | _ -> rest
+                  in
+                  (match bulk_dropped with
+                   | model :: wl ->
+                     let w = ref 10e-6 and l_ = ref 1e-6 in
+                     let rec assign = function
+                       | [] -> ()
+                       | key :: v :: rest' ->
+                         (match String.lowercase_ascii key with
+                          | "w" -> w := value_exn num v
+                          | "l" -> l_ := value_exn num v
+                          | other -> fail num "unknown MOS parameter %S" other);
+                         assign rest'
+                       | [ k ] -> fail num "MOS parameter %S without value" k
+                     in
+                     assign wl;
+                     Netlist.Mosfet
+                       {
+                         name;
+                         d;
+                         g;
+                         s;
+                         model = mosfet_params models num model;
+                         w = !w;
+                         l = !l_;
+                       }
+                   | [] -> fail num "MOS card needs a model")
+                | ('r' | 'c' | 'l' | 'e' | 'g' | 'm'), _ ->
+                  fail num "wrong number of arguments for %S" name
+                | _ -> fail num "unknown element %S" name
+              in
+              elements := element :: !elements
+            end
+        end)
+      lines;
+    let netlist = Netlist.of_elements (List.rev !elements) in
+    (match Netlist.validate netlist with
+     | Ok () -> Ok netlist
+     | Error msg -> Error msg)
+  with Parse_error (num, msg) -> Error (Printf.sprintf "line %d: %s" num msg)
+
+(* ------------------------------ writing --------------------------- *)
+
+(* shortest representation that re-parses to exactly the same float *)
+let num v =
+  let short = Printf.sprintf "%g" v in
+  if float_of_string short = v then short else Printf.sprintf "%.17g" v
+
+let format_wave buffer wave ac =
+  (match wave with
+   | Wave.Dc v -> Buffer.add_string buffer (Printf.sprintf " DC %s" (num v))
+   | Wave.Pulse { v1; v2; delay; rise; fall; width; period } ->
+     Buffer.add_string buffer
+       (Printf.sprintf " PULSE(%s %s %s %s %s %s %s)" (num v1) (num v2)
+          (num delay) (num rise) (num fall) (num width) (num period))
+   | Wave.Sine { offset; amplitude; freq; phase = _ } ->
+     Buffer.add_string buffer
+       (Printf.sprintf " SIN(%s %s %s)" (num offset) (num amplitude) (num freq))
+   | Wave.Pwl points ->
+     Buffer.add_string buffer " PWL(";
+     Array.iteri
+       (fun i (t, v) ->
+         if i > 0 then Buffer.add_char buffer ' ';
+         Buffer.add_string buffer (Printf.sprintf "%s %s" (num t) (num v)))
+       points;
+     Buffer.add_char buffer ')');
+  if ac <> 0.0 then Buffer.add_string buffer (Printf.sprintf " AC %s" (num ac))
+
+let to_string ?(title = "* netlist written by stc_circuit") netlist =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer title;
+  Buffer.add_char buffer '\n';
+  (* collect distinct MOS models and emit .model cards *)
+  let models = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      match e with
+      | Netlist.Mosfet { model; _ } ->
+        let key =
+          Printf.sprintf "m_%s_%g_%g_%g"
+            (match model.Mosfet.kind with Mosfet.Nmos -> "n" | Mosfet.Pmos -> "p")
+            model.Mosfet.vt0 model.Mosfet.kp model.Mosfet.lambda
+        in
+        if not (Hashtbl.mem models key) then Hashtbl.add models key model
+      | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Inductor _
+      | Netlist.Vsource _ | Netlist.Isource _ | Netlist.Vcvs _ | Netlist.Vccs _ ->
+        ())
+    netlist.Netlist.elements;
+  Hashtbl.iter
+    (fun key model ->
+      Buffer.add_string buffer
+        (Printf.sprintf ".model %s %s (vto=%g kp=%g lambda=%g)\n" key
+           (match model.Mosfet.kind with Mosfet.Nmos -> "NMOS" | Mosfet.Pmos -> "PMOS")
+           model.Mosfet.vt0 model.Mosfet.kp model.Mosfet.lambda))
+    models;
+  let model_key model =
+    Printf.sprintf "m_%s_%g_%g_%g"
+      (match model.Mosfet.kind with Mosfet.Nmos -> "n" | Mosfet.Pmos -> "p")
+      model.Mosfet.vt0 model.Mosfet.kp model.Mosfet.lambda
+  in
+  List.iter
+    (fun e ->
+      (match e with
+       | Netlist.Resistor { name; p; n; r } ->
+         Buffer.add_string buffer (Printf.sprintf "%s %s %s %s" name p n (num r))
+       | Netlist.Capacitor { name; p; n; c } ->
+         Buffer.add_string buffer (Printf.sprintf "%s %s %s %s" name p n (num c))
+       | Netlist.Inductor { name; p; n; l } ->
+         Buffer.add_string buffer (Printf.sprintf "%s %s %s %s" name p n (num l))
+       | Netlist.Vsource { name; p; n; wave; ac } ->
+         Buffer.add_string buffer (Printf.sprintf "%s %s %s" name p n);
+         format_wave buffer wave ac
+       | Netlist.Isource { name; p; n; wave; ac } ->
+         Buffer.add_string buffer (Printf.sprintf "%s %s %s" name p n);
+         format_wave buffer wave ac
+       | Netlist.Vcvs { name; p; n; cp; cn; gain } ->
+         Buffer.add_string buffer
+           (Printf.sprintf "%s %s %s %s %s %s" name p n cp cn (num gain))
+       | Netlist.Vccs { name; p; n; cp; cn; gm } ->
+         Buffer.add_string buffer
+           (Printf.sprintf "%s %s %s %s %s %s" name p n cp cn (num gm))
+       | Netlist.Mosfet { name; d; g; s; model; w; l } ->
+         Buffer.add_string buffer
+           (Printf.sprintf "%s %s %s %s %s %s W=%s L=%s" name d g s s
+              (model_key model) (num w) (num l)));
+      Buffer.add_char buffer '\n')
+    netlist.Netlist.elements;
+  Buffer.add_string buffer ".end\n";
+  Buffer.contents buffer

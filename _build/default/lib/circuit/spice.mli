@@ -1,0 +1,26 @@
+(** SPICE-format netlist reader and writer (a practical subset).
+
+    Supported cards, case-insensitive, with [+] continuation lines and
+    [*] comments; the first line is treated as the title:
+
+    - [Rxxx n1 n2 value], [Cxxx n1 n2 value], [Lxxx n1 n2 value]
+    - [Vxxx n+ n- [DC v] [AC mag] [PULSE(v1 v2 td tr tf pw per)]
+       [SIN(off ampl freq)] [PWL(t1 v1 t2 v2 ...)]]
+      (a bare number is DC); [Ixxx] likewise
+    - [Exxx p n cp cn gain] (VCVS), [Gxxx p n cp cn gm] (VCCS)
+    - [Mxxx d g s b model W=.. L=..] (bulk terminal accepted, ignored)
+    - [.model name NMOS|PMOS (vto=.. kp=.. lambda=..)]
+    - [.end] stops parsing
+
+    Engineering suffixes: f p n u m k meg g t (e.g. [10k], [2.2u],
+    [5MEG]); trailing units are ignored ([10kOhm]). *)
+
+val parse_value : string -> float option
+(** Numeric literal with optional engineering suffix. *)
+
+val parse : string -> (Netlist.t, string) result
+(** Parses a complete deck. The error string carries the line number. *)
+
+val to_string : ?title:string -> Netlist.t -> string
+(** Renders a netlist as a SPICE deck that {!parse} accepts
+    (round-trip safe for the supported subset). *)

@@ -1,0 +1,153 @@
+module Vec = Stc_numerics.Vec
+module Mat = Stc_numerics.Mat
+module Lu = Stc_numerics.Lu
+
+type method_ = Backward_euler | Trapezoidal
+
+type options = {
+  dt : float;
+  method_ : method_;
+  newton : Dc.options;
+}
+
+let default_options ~dt = { dt; method_ = Trapezoidal; newton = Dc.default_options }
+
+type result = {
+  times : float array;
+  states : Vec.t array;
+}
+
+exception No_convergence of float
+
+type cap_state = {
+  cap : Mna.cap;
+  mutable v_prev : float;
+  mutable i_prev : float;
+}
+
+let cap_voltage x (c : Mna.cap) =
+  let vp = if c.Mna.cp >= 0 then x.(c.Mna.cp) else 0.0 in
+  let vn = if c.Mna.cn >= 0 then x.(c.Mna.cn) else 0.0 in
+  vp -. vn
+
+(* companion conductance and rhs current for one capacitor *)
+let companion opts h (cs : cap_state) =
+  let c = cs.cap.Mna.value in
+  match opts.method_ with
+  | Backward_euler ->
+    let geq = c /. h in
+    (geq, -.(geq *. cs.v_prev))
+  | Trapezoidal ->
+    let geq = 2.0 *. c /. h in
+    (geq, -.(geq *. cs.v_prev) -. cs.i_prev)
+
+let newton_step opts sys ~time ~h ~caps ~prev =
+  let nopts = opts.newton in
+  let x = Vec.copy prev in
+  let i_prev name = Mna.branch_current sys prev name in
+  let rec iterate k =
+    if k >= nopts.max_iter then raise (No_convergence time);
+    let g, b =
+      Mna.stamp_resistive sys ~x ~time ~gmin:nopts.gmin ~source_scale:1.0
+        ~inductors:(Mna.Companion { h; i_prev })
+    in
+    Array.iter
+      (fun cs ->
+        let geq, ieq = companion opts h cs in
+        let { Mna.cp; cn; _ } = cs.cap in
+        if cp >= 0 then Mat.add_to g cp cp geq;
+        if cn >= 0 then Mat.add_to g cn cn geq;
+        if cp >= 0 && cn >= 0 then begin
+          Mat.add_to g cp cn (-.geq);
+          Mat.add_to g cn cp (-.geq)
+        end;
+        if cp >= 0 then b.(cp) <- b.(cp) -. ieq;
+        if cn >= 0 then b.(cn) <- b.(cn) +. ieq)
+      caps;
+    match Lu.factor g with
+    | exception Lu.Singular _ -> raise (No_convergence time)
+    | fact ->
+      let x_new = Lu.solve fact b in
+      let delta = ref 0.0 in
+      for i = 0 to Vec.dim x - 1 do
+        delta := Float.max !delta (Float.abs (x_new.(i) -. x.(i)))
+      done;
+      let scale =
+        if !delta > nopts.max_step then nopts.max_step /. !delta else 1.0
+      in
+      for i = 0 to Vec.dim x - 1 do
+        x.(i) <- x.(i) +. (scale *. (x_new.(i) -. x.(i)))
+      done;
+      if not (Array.for_all Float.is_finite x) then raise (No_convergence time);
+      if !delta *. scale < nopts.tol then x else iterate (k + 1)
+  in
+  iterate 0
+
+let breakpoints sys ~tstop =
+  let netlist = Mna.netlist sys in
+  List.concat_map
+    (fun e ->
+      match e with
+      | Netlist.Vsource { wave; _ } | Netlist.Isource { wave; _ } ->
+        Wave.breakpoints wave ~tmax:tstop
+      | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Inductor _
+      | Netlist.Vcvs _ | Netlist.Vccs _ | Netlist.Mosfet _ ->
+        [])
+    netlist.Netlist.elements
+  |> List.sort_uniq compare
+
+let run ?options sys ~tstop ~dt =
+  let opts = match options with Some o -> o | None -> default_options ~dt in
+  if tstop <= 0.0 then invalid_arg "Tran.run: tstop must be positive";
+  if dt <= 0.0 then invalid_arg "Tran.run: dt must be positive";
+  let op = Dc.solve_at ~options:opts.newton ~time:0.0 sys in
+  let caps =
+    Array.map
+      (fun cap -> { cap; v_prev = 0.0; i_prev = 0.0 })
+      (Mna.capacitances sys ~op)
+  in
+  Array.iter (fun cs -> cs.v_prev <- cap_voltage op cs.cap) caps;
+  let bps = ref (breakpoints sys ~tstop) in
+  let times = ref [ 0.0 ] and states = ref [ op ] in
+  let t = ref 0.0 and x = ref op in
+  while !t < tstop -. 1e-18 do
+    (* drop stale breakpoints, then step to min(t+dt, next bp, tstop) *)
+    while (match !bps with b :: _ when b <= !t +. 1e-18 -> true | _ -> false) do
+      bps := List.tl !bps
+    done;
+    let target = Float.min (!t +. opts.dt) tstop in
+    let target =
+      match !bps with b :: _ when b < target -> b | _ -> target
+    in
+    let h = target -. !t in
+    let x_new = newton_step opts sys ~time:target ~h ~caps ~prev:!x in
+    (* refresh capacitor companions from the accepted step *)
+    Array.iter
+      (fun cs ->
+        let v_new = cap_voltage x_new cs.cap in
+        let geq, ieq = companion opts h cs in
+        cs.i_prev <- (geq *. v_new) +. ieq;
+        cs.v_prev <- v_new)
+      caps;
+    t := target;
+    x := x_new;
+    times := target :: !times;
+    states := x_new :: !states
+  done;
+  {
+    times = Array.of_list (List.rev !times);
+    states = Array.of_list (List.rev !states);
+  }
+
+let node_waveform sys result node =
+  let idx = Mna.node_index sys node in
+  Array.mapi
+    (fun i t ->
+      let v = if idx < 0 then 0.0 else result.states.(i).(idx) in
+      (t, v))
+    result.times
+
+let branch_waveform sys result name =
+  Array.mapi
+    (fun i t -> (t, Mna.branch_current sys result.states.(i) name))
+    result.times

@@ -1,0 +1,35 @@
+(** Transient analysis with Newton iteration per time point.
+
+    Integration is trapezoidal for capacitors (accurate ringing /
+    settling behaviour) with a backward-Euler option; inductor branches
+    always use backward Euler. Time steps are fixed at [dt] but are
+    shortened to land exactly on source-waveform breakpoints. *)
+
+type method_ = Backward_euler | Trapezoidal
+
+type options = {
+  dt : float;
+  method_ : method_;
+  newton : Dc.options;
+}
+
+val default_options : dt:float -> options
+(** Trapezoidal, default Newton settings. *)
+
+type result = {
+  times : float array;
+  states : Stc_numerics.Vec.t array;  (** one solution vector per time *)
+}
+
+exception No_convergence of float
+(** Carries the simulation time at which Newton failed. *)
+
+val run : ?options:options -> Mna.t -> tstop:float -> dt:float -> result
+(** Runs from a DC operating point at t=0 to [tstop]. [options]
+    defaults to [default_options ~dt]. *)
+
+val node_waveform : Mna.t -> result -> Netlist.node -> (float * float) array
+(** (time, voltage) samples for one node. *)
+
+val branch_waveform : Mna.t -> result -> string -> (float * float) array
+(** (time, current) samples for a voltage-defined element. *)

@@ -1,0 +1,66 @@
+type t =
+  | Dc of float
+  | Pulse of {
+      v1 : float;
+      v2 : float;
+      delay : float;
+      rise : float;
+      fall : float;
+      width : float;
+      period : float;
+    }
+  | Sine of { offset : float; amplitude : float; freq : float; phase : float }
+  | Pwl of (float * float) array
+
+let pulse_value p t =
+  match p with
+  | Pulse { v1; v2; delay; rise; fall; width; period } ->
+    if t < delay then v1
+    else begin
+      let tp =
+        if period > 0.0 && Float.is_finite period then
+          Float.rem (t -. delay) period
+        else t -. delay
+      in
+      if tp < rise then
+        if rise <= 0.0 then v2 else v1 +. ((v2 -. v1) *. tp /. rise)
+      else if tp < rise +. width then v2
+      else if tp < rise +. width +. fall then
+        if fall <= 0.0 then v1
+        else v2 +. ((v1 -. v2) *. (tp -. rise -. width) /. fall)
+      else v1
+    end
+  | Dc _ | Sine _ | Pwl _ -> assert false
+
+let value w t =
+  match w with
+  | Dc v -> v
+  | Pulse _ -> pulse_value w t
+  | Sine { offset; amplitude; freq; phase } ->
+    offset +. (amplitude *. sin ((2.0 *. Float.pi *. freq *. t) +. phase))
+  | Pwl points -> Stc_numerics.Interp.linear points t
+
+let dc_value w = value w 0.0
+
+let breakpoints w ~tmax =
+  match w with
+  | Dc _ -> []
+  | Sine _ -> []
+  | Pwl points ->
+    Array.to_list points
+    |> List.filter_map (fun (t, _) -> if t > 0.0 && t <= tmax then Some t else None)
+  | Pulse { delay; rise; fall; width; period; _ } ->
+    let edges_one t0 =
+      [ t0; t0 +. rise; t0 +. rise +. width; t0 +. rise +. width +. fall ]
+    in
+    let rec collect t0 acc =
+      if t0 > tmax then acc
+      else begin
+        let acc = List.rev_append (edges_one t0) acc in
+        if period > 0.0 && Float.is_finite period then collect (t0 +. period) acc
+        else acc
+      end
+    in
+    collect delay []
+    |> List.filter (fun t -> t > 0.0 && t <= tmax)
+    |> List.sort_uniq compare

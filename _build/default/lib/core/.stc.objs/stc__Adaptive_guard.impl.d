@@ -1,0 +1,1 @@
+lib/core/adaptive_guard.ml: Array Compaction Device_data Float Guard_band Spec Stc_numerics Stc_svm

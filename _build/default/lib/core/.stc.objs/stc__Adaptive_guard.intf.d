@@ -1,0 +1,1 @@
+lib/core/adaptive_guard.mli: Compaction Device_data Guard_band

@@ -1,0 +1,1 @@
+lib/core/compaction.ml: Array Device_data Grid_compact Guard_band List Metrics Order Spec Stc_svm

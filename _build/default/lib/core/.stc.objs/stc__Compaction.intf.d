@@ -1,0 +1,1 @@
+lib/core/compaction.mli: Device_data Grid_compact Guard_band Metrics Order Spec

@@ -1,0 +1,1 @@
+lib/core/device_data.ml: Array Printf Spec Stc_process

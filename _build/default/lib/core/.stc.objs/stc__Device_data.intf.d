@@ -1,0 +1,1 @@
+lib/core/device_data.mli: Spec Stc_process

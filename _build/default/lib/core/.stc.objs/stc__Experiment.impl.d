@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Calibration Compaction Device_data Lazy List Printf Spec Stc_circuit Stc_mems Stc_numerics Stc_process

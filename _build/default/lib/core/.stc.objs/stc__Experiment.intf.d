@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Compaction Device_data Spec Stc_process

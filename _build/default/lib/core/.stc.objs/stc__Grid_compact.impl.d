@@ -1,0 +1,1 @@
+lib/core/grid_compact.ml: Array Float Hashtbl List Stdlib String

@@ -1,0 +1,1 @@
+lib/core/lookup.ml: Array Buffer Float Guard_band List Option Printf Stdlib String

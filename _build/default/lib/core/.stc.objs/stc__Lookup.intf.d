@@ -1,0 +1,1 @@
+lib/core/lookup.mli: Guard_band

@@ -1,0 +1,1 @@
+lib/core/order.ml: Array Device_data Float Hashtbl List Option Spec Stc_numerics

@@ -1,0 +1,1 @@
+lib/core/regression_baseline.ml: Array Device_data Spec Stc_svm

@@ -1,0 +1,1 @@
+lib/core/regression_baseline.mli: Device_data

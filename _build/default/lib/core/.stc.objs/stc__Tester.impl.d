@@ -1,0 +1,1 @@
+lib/core/tester.ml: Array Compaction Device_data Guard_band Lookup Metrics Spec

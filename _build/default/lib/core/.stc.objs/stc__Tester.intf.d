@@ -1,0 +1,1 @@
+lib/core/tester.mli: Compaction Device_data Guard_band Lookup Metrics

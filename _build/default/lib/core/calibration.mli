@@ -1,0 +1,28 @@
+(** Per-specification measurement calibration.
+
+    The paper's exact transistor sizing is not published, so our
+    simulated nominal device does not land exactly on the Table 1/2
+    nominal column. A calibration maps each measured spec onto the
+    paper's scale so the published acceptability ranges apply
+    unchanged. The map is monotone affine per spec, so pass/fail
+    topology and inter-spec correlations are preserved. *)
+
+type mode =
+  | Scale  (** value' = k·value, for ratio-scale specs (gains, currents…) *)
+  | Shift  (** value' = value + d, for offset-like specs whose nominal
+               is at or near zero (overshoot, cross-axis sensitivity) *)
+
+type t
+
+val fit : mode -> measured_nominal:float -> target_nominal:float -> t
+(** [Scale] falls back to [Shift] when [measured_nominal] is too close
+    to zero for a stable ratio. *)
+
+val identity : t
+
+val apply : t -> float -> float
+
+val apply_all : t array -> float array -> float array
+(** Element-wise; lengths must match. *)
+
+val describe : t -> string

@@ -1,0 +1,278 @@
+module Svr = Stc_svm.Svr
+module Svc = Stc_svm.Svc
+module Kernel = Stc_svm.Kernel
+
+type learner =
+  | Epsilon_svr of { c : float; epsilon : float; gamma : float option }
+  | C_svc of { c : float; gamma : float option }
+
+type validation =
+  | On_test_data
+  | On_train_data
+
+type config = {
+  learner : learner;
+  tolerance : float;
+  guard_fraction : float;
+  grid : Grid_compact.config option;
+  measured_guard : bool;
+  validation : validation;
+}
+
+let default_config =
+  {
+    learner = Epsilon_svr { c = 10.0; epsilon = 0.1; gamma = None };
+    tolerance = 0.01;
+    guard_fraction = 0.01;
+    grid = None;
+    measured_guard = true;
+    validation = On_test_data;
+  }
+
+type flow = {
+  specs : Spec.t array;
+  kept : int array;
+  dropped : int array;
+  band : Guard_band.t option;
+  guard_fraction : float;
+  measured_guard : bool;
+}
+
+let identity_flow specs =
+  {
+    specs;
+    kept = Array.init (Array.length specs) (fun i -> i);
+    dropped = [||];
+    band = None;
+    guard_fraction = 0.0;
+    measured_guard = false;
+  }
+
+let complement ~k dropped =
+  let is_dropped = Array.make k false in
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= k then invalid_arg "Compaction: bad spec index";
+      if is_dropped.(j) then invalid_arg "Compaction: duplicate dropped index";
+      is_dropped.(j) <- true)
+    dropped;
+  let kept = ref [] in
+  for j = k - 1 downto 0 do
+    if not (is_dropped.(j)) then kept := j :: !kept
+  done;
+  Array.of_list !kept
+
+let resolve_gamma gamma features =
+  match gamma with Some g -> g | None -> Kernel.median_gamma features
+
+(* Train one ±1 classifier on (features, labels). Degenerate one-class
+   inputs yield a constant predictor. *)
+let train_classifier learner features labels =
+  let n = Array.length labels in
+  assert (n > 0);
+  let all_same =
+    let first = labels.(0) in
+    Array.for_all (fun l -> l = first) labels
+  in
+  if all_same then begin
+    let constant = labels.(0) in
+    fun _ -> constant
+  end
+  else begin
+    match learner with
+    | Epsilon_svr { c; epsilon; gamma } ->
+      let kernel = Kernel.rbf (resolve_gamma gamma features) in
+      let y = Array.map float_of_int labels in
+      let model = Svr.train ~c ~epsilon ~kernel ~x:features ~y () in
+      fun v -> Svr.classify model v
+    | C_svc { c; gamma } ->
+      let kernel = Kernel.rbf (resolve_gamma gamma features) in
+      let model = Svc.train ~c ~kernel ~x:features ~y:labels () in
+      fun v -> Svc.predict model v
+  end
+
+let maybe_grid config features labels =
+  match config.grid with
+  | None -> (features, labels)
+  | Some grid_config ->
+    let r = Grid_compact.compact ~config:grid_config ~features ~labels () in
+    (r.Grid_compact.features, r.Grid_compact.labels)
+
+(* Labels for "instance passes every dropped spec", judged against
+   ranges perturbed by [fraction] (0 = nominal). *)
+let dropped_labels data ~dropped ~fraction =
+  let specs = Device_data.specs data in
+  let judged =
+    if fraction = 0.0 then specs
+    else Array.map (fun s -> Spec.perturb s ~fraction) specs
+  in
+  Device_data.pass_labels_with data ~specs:judged ~subset:dropped
+
+let train_predictor config data ~dropped =
+  let k = Device_data.n_specs data in
+  if Array.length dropped = 0 then
+    invalid_arg "Compaction.train_predictor: empty dropped set";
+  let kept = complement ~k dropped in
+  let features = Device_data.features data ~keep:kept in
+  let train fraction =
+    let labels = dropped_labels data ~dropped ~fraction in
+    let features', labels' = maybe_grid config features labels in
+    train_classifier config.learner features' labels'
+  in
+  let nominal = train 0.0 in
+  let band =
+    if config.guard_fraction = 0.0 then Guard_band.single nominal
+    else
+      Guard_band.make
+        ~tight:(train (-.config.guard_fraction))
+        ~loose:(train config.guard_fraction)
+  in
+  (band, nominal)
+
+let make_flow config data ~dropped =
+  let k = Device_data.n_specs data in
+  let kept = complement ~k dropped in
+  let band =
+    if Array.length dropped = 0 then None
+    else begin
+      let band, _ = train_predictor config data ~dropped in
+      Some band
+    end
+  in
+  {
+    specs = Device_data.specs data;
+    kept;
+    dropped = Array.copy dropped;
+    band;
+    guard_fraction = config.guard_fraction;
+    measured_guard = config.measured_guard;
+  }
+
+(* Three-way verdict on the explicitly measured (kept) specs. *)
+let measured_verdict flow row =
+  let delta = if flow.measured_guard then flow.guard_fraction else 0.0 in
+  let worst = ref Guard_band.Good in
+  Array.iter
+    (fun j ->
+      let spec = flow.specs.(j) in
+      let v = row.(j) in
+      let inside_loose =
+        if delta = 0.0 then Spec.passes spec v
+        else Spec.passes (Spec.perturb spec ~fraction:delta) v
+      in
+      if not inside_loose then worst := Guard_band.Bad
+      else begin
+        let inside_tight =
+          if delta = 0.0 then Spec.passes spec v
+          else Spec.passes (Spec.perturb spec ~fraction:(-.delta)) v
+        in
+        if not inside_tight then begin
+          match !worst with
+          | Guard_band.Good -> worst := Guard_band.Guard
+          | Guard_band.Guard | Guard_band.Bad -> ()
+        end
+      end)
+    flow.kept;
+  !worst
+
+let flow_verdict flow row =
+  let measured = measured_verdict flow row in
+  match measured with
+  | Guard_band.Bad -> Guard_band.Bad
+  | Guard_band.Guard | Guard_band.Good ->
+    let model_verdict =
+      match flow.band with
+      | None -> Guard_band.Good
+      | Some band ->
+        let features =
+          Array.map (fun j -> Spec.normalize flow.specs.(j) row.(j)) flow.kept
+        in
+        Guard_band.classify band features
+    in
+    (match (measured, model_verdict) with
+     | Guard_band.Good, v -> v
+     | Guard_band.Guard, Guard_band.Bad -> Guard_band.Bad
+     | Guard_band.Guard, (Guard_band.Good | Guard_band.Guard) ->
+       Guard_band.Guard
+     | Guard_band.Bad, _ -> assert false)
+
+let evaluate_flow flow data =
+  if Array.length (Device_data.specs data) <> Array.length flow.specs then
+    invalid_arg "Compaction.evaluate_flow: spec count mismatch";
+  let n = Device_data.n_instances data in
+  let truth = Array.init n (fun i -> Device_data.passes_all data ~instance:i) in
+  let verdicts =
+    Array.init n (fun i -> flow_verdict flow (Device_data.instance_row data i))
+  in
+  Metrics.tally ~truth ~verdicts
+
+let prediction_error model data ~kept ~dropped =
+  let n = Device_data.n_instances data in
+  if n = 0 then 0.0
+  else begin
+    let wrong = ref 0 in
+    for i = 0 to n - 1 do
+      let truth =
+        if Device_data.passes_subset data ~instance:i ~subset:dropped then 1
+        else -1
+      in
+      let features = Device_data.normalized_row data ~instance:i ~keep:kept in
+      if model features <> truth then incr wrong
+    done;
+    float_of_int !wrong /. float_of_int n
+  end
+
+type step = {
+  spec_index : int;
+  accepted : bool;
+  error : float;
+  counts : Metrics.counts option;
+}
+
+type result = {
+  flow : flow;
+  steps : step list;
+  config : config;
+}
+
+let eliminate config ~train ~test ~dropped =
+  let flow = make_flow config train ~dropped in
+  (evaluate_flow flow test, flow)
+
+let greedy ?(order = Order.By_failure_count) ?(eval_each = false) config ~train
+    ~test =
+  let k = Device_data.n_specs train in
+  let examination = Order.compute order train in
+  let dropped = ref [] in
+  let steps = ref [] in
+  Array.iter
+    (fun candidate ->
+      let trial = Array.of_list (List.rev (candidate :: !dropped)) in
+      let kept = complement ~k trial in
+      let features = Device_data.features train ~keep:kept in
+      let labels = dropped_labels train ~dropped:trial ~fraction:0.0 in
+      let features', labels' = maybe_grid config features labels in
+      let nominal = train_classifier config.learner features' labels' in
+      let validation_data =
+        match config.validation with
+        | On_test_data -> test
+        | On_train_data -> train
+      in
+      let error = prediction_error nominal validation_data ~kept ~dropped:trial in
+      let accepted = error <= config.tolerance in
+      if accepted then dropped := candidate :: !dropped;
+      let counts =
+        if accepted && eval_each then begin
+          let c, _ =
+            eliminate config ~train ~test
+              ~dropped:(Array.of_list (List.rev !dropped))
+          in
+          Some c
+        end
+        else None
+      in
+      steps := { spec_index = candidate; accepted; error; counts } :: !steps)
+    examination;
+  let final_dropped = Array.of_list (List.rev !dropped) in
+  let flow = make_flow config train ~dropped:final_dropped in
+  { flow; steps = List.rev !steps; config }

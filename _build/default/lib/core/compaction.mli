@@ -1,0 +1,102 @@
+(** The specification-test compaction procedure (Sec. 3, Fig. 2).
+
+    Starting from the complete test set, each candidate test is
+    tentatively removed; an ε-SVM is trained to predict pass/fail of
+    the removed specification set [S_red] from the remaining measured
+    specifications; if the held-out prediction error stays below the
+    tolerance [e_T] the removal becomes permanent.
+
+    The final production flow measures only the kept specifications and
+    consults a guard-banded model pair for the dropped ones. *)
+
+type learner =
+  | Epsilon_svr of { c : float; epsilon : float; gamma : float option }
+      (** the paper's ε-SVM: regression on ±1 targets, classify by
+          sign; [gamma = None] uses 1/dim *)
+  | C_svc of { c : float; gamma : float option }
+      (** standard soft-margin classification, for ablation *)
+
+type validation =
+  | On_test_data   (** the paper's protocol: e_p measured on test data *)
+  | On_train_data  (** leak-free variant: e_p on the training data *)
+
+type config = {
+  learner : learner;
+  tolerance : float;       (** e_T: acceptable prediction-error fraction *)
+  guard_fraction : float;  (** δ: range perturbation, fraction of width *)
+  grid : Grid_compact.config option;
+      (** training-data compaction before SVM training *)
+  measured_guard : bool;
+      (** also guard-band devices whose *measured* kept specs fall
+          within δ of a range boundary *)
+  validation : validation;
+}
+
+val default_config : config
+(** ε-SVR (C=10, ε=0.1, γ=1/dim), e_T = 1 %, δ = 1 %, no grid
+    compaction, measured guard on, paper validation protocol. *)
+
+type flow = {
+  specs : Spec.t array;
+  kept : int array;
+  dropped : int array;
+  band : Guard_band.t option;   (** [None] iff nothing was dropped *)
+  guard_fraction : float;
+  measured_guard : bool;
+}
+
+val identity_flow : Spec.t array -> flow
+(** The uncompacted flow: every spec measured, no model. *)
+
+val train_predictor : config -> Device_data.t -> dropped:int array ->
+  Guard_band.t * (float array -> int)
+(** Trains the guard-band model pair and the nominal model for a given
+    dropped set. The classifiers take the *normalised kept-spec feature
+    vector*. Raises [Invalid_argument] when [dropped] is empty or not a
+    valid index set. *)
+
+val make_flow : config -> Device_data.t -> dropped:int array -> flow
+
+val flow_verdict : flow -> float array -> Guard_band.verdict
+(** Bins one device from its full measured spec row (only kept columns
+    are read — at the real tester the dropped specs are never
+    measured). *)
+
+val evaluate_flow : flow -> Device_data.t -> Metrics.counts
+(** Runs the flow over a (test) population; truth is pass/fail of the
+    complete spec set. *)
+
+val prediction_error : (float array -> int) -> Device_data.t ->
+  kept:int array -> dropped:int array -> float
+(** e_p: fraction of instances whose [S_red] pass/fail the model
+    mispredicts. *)
+
+type step = {
+  spec_index : int;
+  accepted : bool;
+  error : float;                    (** e_p for this candidate *)
+  counts : Metrics.counts option;   (** test metrics after the step, when evaluated *)
+}
+
+type result = {
+  flow : flow;
+  steps : step list;   (** in examination order *)
+  config : config;
+}
+
+val greedy :
+  ?order:Order.strategy ->
+  ?eval_each:bool ->
+  config ->
+  train:Device_data.t ->
+  test:Device_data.t ->
+  result
+(** The Fig. 2 loop. [order] defaults to [By_failure_count];
+    [eval_each] (default false) additionally evaluates the guard-banded
+    flow on [test] after every accepted elimination (Figure 5 data). *)
+
+val eliminate :
+  config -> train:Device_data.t -> test:Device_data.t ->
+  dropped:int array -> Metrics.counts * flow
+(** Forces a specific dropped set (no acceptance decision) and
+    evaluates it — Table 3 rows and Figure 5/6 points. *)

@@ -1,0 +1,47 @@
+type tri_temp = {
+  full : float;
+  compacted : float;
+  saving_pct : float;
+}
+
+let tri_temperature ?(unit_cost = 1.0) ~n ~room_pass ~guard () =
+  if n < 0 || room_pass < 0 || room_pass > n || guard < 0 || guard > n then
+    invalid_arg "Cost.tri_temperature: inconsistent counts";
+  let f = float_of_int in
+  let full = unit_cost *. (f n +. (2.0 *. f room_pass)) in
+  let compacted = unit_cost *. (f (n - guard) +. (3.0 *. f guard)) in
+  let saving_pct = if full = 0.0 then 0.0 else 100.0 *. (1.0 -. (compacted /. full)) in
+  { full; compacted; saving_pct }
+
+type per_spec = {
+  spec_costs : float array;
+  full_cost : float;
+  compacted_cost : float;
+  retest_overhead : float;
+  expected_cost : float;
+  saving_fraction : float;
+}
+
+let per_spec_flow ~spec_costs ~kept ~guard_rate =
+  if guard_rate < 0.0 || guard_rate > 1.0 then
+    invalid_arg "Cost.per_spec_flow: guard_rate outside [0,1]";
+  Array.iter
+    (fun c -> if c < 0.0 then invalid_arg "Cost.per_spec_flow: negative cost")
+    spec_costs;
+  let full_cost = Array.fold_left ( +. ) 0.0 spec_costs in
+  let compacted_cost =
+    Array.fold_left (fun acc j -> acc +. spec_costs.(j)) 0.0 kept
+  in
+  let retest_overhead = guard_rate *. full_cost in
+  let expected_cost = compacted_cost +. retest_overhead in
+  let saving_fraction =
+    if full_cost = 0.0 then 0.0 else 1.0 -. (expected_cost /. full_cost)
+  in
+  {
+    spec_costs;
+    full_cost;
+    compacted_cost;
+    retest_overhead;
+    expected_cost;
+    saving_fraction;
+  }

@@ -1,0 +1,44 @@
+(** Test-cost accounting (Sec. 5.2).
+
+    The paper's MEMS arithmetic: testing one device for all specs at
+    one temperature costs one unit; the full flow tests every device at
+    room temperature and the room-passing devices at hot and cold
+    ($1000 + 774·2 = $2548 for 1000 devices at 77.4 % room yield); the
+    compacted flow tests everything at room only, re-testing the
+    guard-band devices at all three temperatures
+    ($916 + 84·3 = $1168). *)
+
+type tri_temp = {
+  full : float;       (** cost of the complete tri-temperature flow *)
+  compacted : float;  (** cost with hot/cold predicted, guard retested *)
+  saving_pct : float;
+}
+
+val tri_temperature :
+  ?unit_cost:float ->
+  n:int ->
+  room_pass:int ->
+  guard:int ->
+  unit ->
+  tri_temp
+(** [n] devices, [room_pass] of them pass the room-temperature tests in
+    the full flow, [guard] land in the guard band of the compacted
+    flow. Requires [0 ≤ room_pass ≤ n] and [0 ≤ guard ≤ n]. *)
+
+type per_spec = {
+  spec_costs : float array;
+  full_cost : float;        (** per device, all specs measured *)
+  compacted_cost : float;   (** per device, kept specs only *)
+  retest_overhead : float;  (** expected extra cost of guard retests *)
+  expected_cost : float;    (** compacted + overhead, per device *)
+  saving_fraction : float;
+}
+
+val per_spec_flow :
+  spec_costs:float array ->
+  kept:int array ->
+  guard_rate:float ->
+  per_spec
+(** General per-specification cost model: each spec has its own test
+    cost; a guard-band device pays the full test again. [guard_rate] is
+    the expected guard fraction per device. *)

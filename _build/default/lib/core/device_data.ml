@@ -1,0 +1,68 @@
+type t = {
+  specs : Spec.t array;
+  values : float array array;
+}
+
+let make ~specs ~values =
+  let k = Array.length specs in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> k then
+        invalid_arg
+          (Printf.sprintf "Device_data.make: row %d has %d values, expected %d"
+             i (Array.length row) k))
+    values;
+  { specs; values }
+
+let specs t = t.specs
+let values t = t.values
+let n_instances t = Array.length t.values
+let n_specs t = Array.length t.specs
+
+let value t ~instance ~spec = t.values.(instance).(spec)
+let instance_row t i = t.values.(i)
+let spec_column t j = Array.map (fun row -> row.(j)) t.values
+
+let normalized_row t ~instance ~keep =
+  Array.map
+    (fun j -> Spec.normalize t.specs.(j) t.values.(instance).(j))
+    keep
+
+let features t ~keep =
+  Array.init (n_instances t) (fun i -> normalized_row t ~instance:i ~keep)
+
+let passes_all t ~instance =
+  let row = t.values.(instance) in
+  let k = Array.length t.specs in
+  let rec check j = j >= k || (Spec.passes t.specs.(j) row.(j) && check (j + 1)) in
+  check 0
+
+let passes_subset t ~instance ~subset =
+  let row = t.values.(instance) in
+  Array.for_all (fun j -> Spec.passes t.specs.(j) row.(j)) subset
+
+let pass_labels t ~subset =
+  Array.init (n_instances t) (fun i ->
+      if passes_subset t ~instance:i ~subset then 1 else -1)
+
+let pass_labels_with t ~specs ~subset =
+  if Array.length specs <> Array.length t.specs then
+    invalid_arg "Device_data.pass_labels_with: spec count mismatch";
+  Array.init (n_instances t) (fun i ->
+      let row = t.values.(i) in
+      if Array.for_all (fun j -> Spec.passes specs.(j) row.(j)) subset then 1
+      else -1)
+
+let yield_fraction t =
+  let n = n_instances t in
+  if n = 0 then 0.0
+  else begin
+    let good = ref 0 in
+    for i = 0 to n - 1 do
+      if passes_all t ~instance:i then incr good
+    done;
+    float_of_int !good /. float_of_int n
+  end
+
+let of_montecarlo ~specs dataset =
+  make ~specs ~values:dataset.Stc_process.Montecarlo.specs

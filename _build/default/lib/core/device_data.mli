@@ -1,0 +1,39 @@
+(** Measured specification data for a population of device instances,
+    together with the specification definitions. Rows are instances,
+    columns are specifications. *)
+
+type t
+
+val make : specs:Spec.t array -> values:float array array -> t
+(** Raises [Invalid_argument] on column-count mismatches. *)
+
+val specs : t -> Spec.t array
+val values : t -> float array array
+val n_instances : t -> int
+val n_specs : t -> int
+
+val value : t -> instance:int -> spec:int -> float
+val instance_row : t -> int -> float array
+val spec_column : t -> int -> float array
+
+val normalized_row : t -> instance:int -> keep:int array -> float array
+(** Normalised (range ↦ [0,1]) values of the kept specifications for
+    one instance — the SVM feature vector after compaction removed the
+    other columns. *)
+
+val features : t -> keep:int array -> float array array
+
+val passes_all : t -> instance:int -> bool
+val passes_subset : t -> instance:int -> subset:int array -> bool
+
+val pass_labels : t -> subset:int array -> int array
+(** +1 if the instance passes every spec in [subset], −1 otherwise. *)
+
+val pass_labels_with : t -> specs:Spec.t array -> subset:int array -> int array
+(** As {!pass_labels} but judging against alternative (e.g. guard-band
+    perturbed) spec definitions, index-aligned with the data's specs. *)
+
+val yield_fraction : t -> float
+(** Fraction of instances passing every specification. *)
+
+val of_montecarlo : specs:Spec.t array -> Stc_process.Montecarlo.dataset -> t

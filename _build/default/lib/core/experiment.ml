@@ -1,0 +1,249 @@
+module Variation = Stc_process.Variation
+module Montecarlo = Stc_process.Montecarlo
+module Opamp = Stc_circuit.Opamp
+module Measure_opamp = Stc_circuit.Measure_opamp
+module Geometry = Stc_mems.Geometry
+module Beam = Stc_mems.Beam
+module Measure_mems = Stc_mems.Measure_mems
+
+(* ------------------------------------------------------------------ *)
+(* Operational amplifier                                               *)
+(* ------------------------------------------------------------------ *)
+
+let spec = Spec.make
+
+let opamp_specs =
+  [|
+    spec ~name:"gain" ~unit_label:"-" ~nominal:14000.0 ~lower:1000.0
+      ~upper:20000.0;
+    spec ~name:"3-dB bandwidth" ~unit_label:"Hz" ~nominal:200.0 ~lower:130.0
+      ~upper:10000.0;
+    spec ~name:"unity gain frequency" ~unit_label:"MHz" ~nominal:2.1 ~lower:1.7
+      ~upper:5.0;
+    spec ~name:"slew rate" ~unit_label:"V/us" ~nominal:0.44 ~lower:0.35
+      ~upper:0.55;
+    spec ~name:"rise time" ~unit_label:"us" ~nominal:8.5 ~lower:0.01
+      ~upper:10.5;
+    spec ~name:"overshoot" ~unit_label:"-" ~nominal:0.0001 ~lower:(-0.00026)
+      ~upper:0.00026;
+    spec ~name:"settling time" ~unit_label:"ns" ~nominal:895.0 ~lower:1.0
+      ~upper:1070.0;
+    spec ~name:"quiescent current" ~unit_label:"uA" ~nominal:105.0 ~lower:70.0
+      ~upper:125.0;
+    spec ~name:"common mode gain" ~unit_label:"-" ~nominal:0.08 ~lower:0.0
+      ~upper:0.48;
+    spec ~name:"power supply gain" ~unit_label:"-" ~nominal:0.4 ~lower:0.0
+      ~upper:0.95;
+    spec ~name:"short circuit current" ~unit_label:"mA" ~nominal:0.5 ~lower:0.0
+      ~upper:4.2;
+  |]
+
+let opamp_params_of_draw v =
+  let n = Opamp.nominal in
+  {
+    n with
+    Opamp.w1 = v.(0); l1 = v.(1);
+    w3 = v.(2); l3 = v.(3);
+    w5 = v.(4); l5 = v.(5);
+    w6 = v.(6); l6 = v.(7);
+    w7 = v.(8); l7 = v.(9);
+    w8 = v.(10); l8 = v.(11);
+    cc = v.(12);
+    cl = v.(13);
+  }
+
+let opamp_variations =
+  let n = Opamp.nominal in
+  let u name value = Variation.uniform_pct name value ~pct:0.10 in
+  [|
+    u "w1" n.Opamp.w1; u "l1" n.Opamp.l1;
+    u "w3" n.Opamp.w3; u "l3" n.Opamp.l3;
+    u "w5" n.Opamp.w5; u "l5" n.Opamp.l5;
+    u "w6" n.Opamp.w6; u "l6" n.Opamp.l6;
+    u "w7" n.Opamp.w7; u "l7" n.Opamp.l7;
+    u "w8" n.Opamp.w8; u "l8" n.Opamp.l8;
+    u "cc" n.Opamp.cc; u "cl" n.Opamp.cl;
+  |]
+
+(* Calibration factors fitted once against the simulated nominal device
+   (see Calibration and DESIGN.md). *)
+let opamp_calibrations =
+  lazy
+    (let measured = Measure_opamp.to_array (Measure_opamp.measure Opamp.nominal) in
+     Array.init (Array.length opamp_specs) (fun i ->
+         Calibration.fit Calibration.Scale ~measured_nominal:measured.(i)
+           ~target_nominal:opamp_specs.(i).Spec.nominal))
+
+let opamp_device ?(calibrate = true) () =
+  let simulate draw =
+    match Measure_opamp.measure (opamp_params_of_draw draw) with
+    | values ->
+      let raw = Measure_opamp.to_array values in
+      if calibrate then
+        Some (Calibration.apply_all (Lazy.force opamp_calibrations) raw)
+      else Some raw
+    | exception Measure_opamp.Measurement_failed _ -> None
+  in
+  {
+    Montecarlo.device_name = "two-stage op-amp";
+    params = opamp_variations;
+    spec_count = Array.length opamp_specs;
+    simulate;
+  }
+
+(* Functional-analysis order: specs whose information is most available
+   from others first (bandwidth = ugf/gain; rise/settling/overshoot are
+   all shaped by the same closed-loop dynamics; short-circuit drive
+   tracks the output-stage sizing that quiescent current also sees). *)
+let opamp_examination_order = [| 1; 4; 6; 5; 10; 8; 9; 0; 2; 3; 7 |]
+
+let generate_datasets ?(parallel = false) device specs ~seed ~n_train ~n_test =
+  let all =
+    if parallel then
+      Montecarlo.generate_parallel ~seed device ~n:(n_train + n_test)
+    else
+      Montecarlo.generate (Stc_numerics.Rng.create seed) device
+        ~n:(n_train + n_test)
+  in
+  let train_mc, test_mc = Montecarlo.split all ~at:n_train in
+  ( Device_data.of_montecarlo ~specs train_mc,
+    Device_data.of_montecarlo ~specs test_mc )
+
+let generate_opamp ?calibrate ?parallel ~seed ~n_train ~n_test () =
+  generate_datasets ?parallel (opamp_device ?calibrate ()) opamp_specs ~seed
+    ~n_train ~n_test
+
+(* ------------------------------------------------------------------ *)
+(* MEMS accelerometer                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mems_room_specs =
+  [|
+    spec ~name:"scale factor" ~unit_label:"mV/V" ~nominal:9.5 ~lower:5.0
+      ~upper:30.0;
+    spec ~name:"cross-axis sensitivity" ~unit_label:"mV/V" ~nominal:0.0
+      ~lower:(-6.0) ~upper:4.0;
+    spec ~name:"peak frequency" ~unit_label:"kHz" ~nominal:5.6 ~lower:4.0
+      ~upper:6.2;
+    spec ~name:"quality factor" ~unit_label:"-" ~nominal:2.1 ~lower:1.0
+      ~upper:2.8;
+    spec ~name:"3-dB bandwidth" ~unit_label:"kHz" ~nominal:2.7 ~lower:2.0
+      ~upper:3.8;
+  |]
+
+let with_suffix suffix s = { s with Spec.name = s.Spec.name ^ " " ^ suffix }
+
+let mems_specs =
+  Array.concat
+    [
+      Array.map (with_suffix "@room") mems_room_specs;
+      Array.map (with_suffix "@-40C") mems_room_specs;
+      Array.map (with_suffix "@80C") mems_room_specs;
+    ]
+
+let mems_cold_indices = Array.init 5 (fun i -> 5 + i)
+
+let mems_hot_indices = Array.init 5 (fun i -> 10 + i)
+
+let mems_variations =
+  let g = Geometry.nominal in
+  let u name value = Variation.uniform_pct name value ~pct:0.10 in
+  let springs =
+    Array.to_list g.Geometry.springs
+    |> List.mapi (fun i s ->
+           (* the varied "relative angle" is the skew from the ideal
+              orientation, not the ±90° orientation itself *)
+           let skew = s.Geometry.angle -. Geometry.ideal_angles.(i) in
+           [
+             u (Printf.sprintf "spring%d.length" i) s.Geometry.beam.Beam.length;
+             u (Printf.sprintf "spring%d.width" i) s.Geometry.beam.Beam.width;
+             u (Printf.sprintf "spring%d.skew" i) skew;
+           ])
+    |> List.concat
+  in
+  Array.of_list
+    (springs
+     @ [
+         u "plate.length" g.Geometry.plate_length;
+         u "plate.width" g.Geometry.plate_width;
+         u "finger.gap" g.Geometry.finger_gap;
+         u "finger.overlap" g.Geometry.finger_overlap;
+         u "film.thickness" g.Geometry.thickness;
+       ])
+
+let mems_geometry_of_draw v =
+  let g = Geometry.nominal in
+  let thickness = v.(16) in
+  let springs =
+    Array.init 4 (fun i ->
+        {
+          Geometry.beam =
+            {
+              Beam.length = v.((3 * i) + 0);
+              width = v.((3 * i) + 1);
+              thickness;
+            };
+          angle = Geometry.ideal_angles.(i) +. v.((3 * i) + 2);
+        })
+  in
+  {
+    g with
+    Geometry.springs = springs;
+    plate_length = v.(12);
+    plate_width = v.(13);
+    finger_gap = v.(14);
+    finger_overlap = v.(15);
+    thickness;
+  }
+
+let mems_measure geometry =
+  let room, cold, hot = Measure_mems.tri_temperature geometry in
+  Array.concat
+    [
+      Measure_mems.to_array room;
+      Measure_mems.to_array cold;
+      Measure_mems.to_array hot;
+    ]
+
+let mems_calibrations =
+  lazy
+    (let measured = mems_measure Geometry.nominal in
+     Array.init (Array.length mems_specs) (fun i ->
+         Calibration.fit Calibration.Scale ~measured_nominal:measured.(i)
+           ~target_nominal:mems_specs.(i).Spec.nominal))
+
+let mems_device ?(calibrate = true) () =
+  let simulate draw =
+    match mems_measure (mems_geometry_of_draw draw) with
+    | raw ->
+      if calibrate then
+        Some (Calibration.apply_all (Lazy.force mems_calibrations) raw)
+      else Some raw
+    | exception Measure_mems.Measurement_failed _ -> None
+  in
+  {
+    Montecarlo.device_name = "MEMS accelerometer";
+    params = mems_variations;
+    spec_count = Array.length mems_specs;
+    simulate;
+  }
+
+let generate_mems ?calibrate ?parallel ~seed ~n_train ~n_test () =
+  generate_datasets ?parallel (mems_device ?calibrate ()) mems_specs ~seed
+    ~n_train ~n_test
+
+(* ------------------------------------------------------------------ *)
+(* Default configurations                                              *)
+(* ------------------------------------------------------------------ *)
+
+let opamp_config = { Compaction.default_config with guard_fraction = 0.01 }
+
+(* Guard from model disagreement only (Table 3 semantics: the guard
+   fraction grows with the number of eliminated temperature tests),
+   with the paper's own ±2.5 % boundary perturbation. *)
+let mems_config =
+  {
+    Compaction.default_config with
+    guard_fraction = 0.025;
+    measured_guard = false;
+  }

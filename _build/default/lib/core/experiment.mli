@@ -1,0 +1,59 @@
+(** Packaged experiment configurations for the paper's two devices:
+    the op-amp (Table 1, Figures 5–6) and the MEMS accelerometer
+    (Tables 2–3). Everything is deterministic given a seed. *)
+
+(** {1 Operational amplifier} *)
+
+val opamp_specs : Spec.t array
+(** The eleven Table 1 specifications with the paper's nominal values
+    and acceptability ranges. *)
+
+val opamp_device : ?calibrate:bool -> unit -> Stc_process.Montecarlo.device
+(** ±10 % uniform variation on every MOSFET W and L and both
+    capacitors (14 parameters), simulated through the six test benches.
+    [calibrate] (default true) maps each measured spec onto the paper's
+    nominal scale (see {!Calibration}). *)
+
+val opamp_examination_order : int array
+(** Device-functionality examination order (the paper's strategy): the
+    specs most entangled with others first. *)
+
+val generate_opamp :
+  ?calibrate:bool -> ?parallel:bool -> seed:int -> n_train:int -> n_test:int ->
+  unit -> Device_data.t * Device_data.t
+(** Monte-Carlo training and test populations (one stream, split).
+    [parallel] (default false) fans the simulations out across domains
+    via {!Stc_process.Montecarlo.generate_parallel}; the result is
+    deterministic per seed but drawn from a different stream than the
+    sequential generator. *)
+
+(** {1 MEMS accelerometer} *)
+
+val mems_room_specs : Spec.t array
+(** The five Table 2 specifications (room temperature). *)
+
+val mems_specs : Spec.t array
+(** All fifteen: the Table 2 five at room, cold (−40 °C) and hot
+    (80 °C), in that block order. *)
+
+val mems_cold_indices : int array
+(** Column indices of the cold-temperature specs within {!mems_specs}. *)
+
+val mems_hot_indices : int array
+
+val mems_device : ?calibrate:bool -> unit -> Stc_process.Montecarlo.device
+(** ±10 % uniform variation on each spring's length, width and
+    orientation angle, the plate dimensions, the comb gap and overlap
+    (16 parameters). *)
+
+val generate_mems :
+  ?calibrate:bool -> ?parallel:bool -> seed:int -> n_train:int -> n_test:int ->
+  unit -> Device_data.t * Device_data.t
+
+(** {1 Defaults} *)
+
+val opamp_config : Compaction.config
+(** ε-SVR, tolerance 1 %, guard band ±1 % (the paper's op-amp guard). *)
+
+val mems_config : Compaction.config
+(** ε-SVR, tolerance 1 %, guard band ±2.5 % (the paper's MEMS guard). *)

@@ -1,0 +1,89 @@
+type config = {
+  resolution : int;
+  clip_lo : float;
+  clip_hi : float;
+}
+
+let default_config = { resolution = 8; clip_lo = -0.5; clip_hi = 1.5 }
+
+type result = {
+  features : float array array;
+  labels : int array;
+  kept_original : int;
+  merged_cells : int;
+}
+
+type cell = {
+  mutable goods : int;
+  mutable bads : int;
+  mutable members : int list;
+  coords : int array;
+}
+
+let cell_key coords = String.concat "," (Array.to_list (Array.map string_of_int coords))
+
+let compact ?(config = default_config) ~features ~labels () =
+  let n = Array.length features in
+  if Array.length labels <> n then
+    invalid_arg "Grid_compact.compact: features/labels length mismatch";
+  if config.resolution <= 0 then
+    invalid_arg "Grid_compact.compact: resolution must be positive";
+  if n = 0 then { features = [||]; labels = [||]; kept_original = 0; merged_cells = 0 }
+  else begin
+    let dim = Array.length features.(0) in
+    let span = config.clip_hi -. config.clip_lo in
+    let cell_of v =
+      let raw =
+        int_of_float
+          (Float.floor
+             ((v -. config.clip_lo) /. span *. float_of_int config.resolution))
+      in
+      Stdlib.max 0 (Stdlib.min (config.resolution - 1) raw)
+    in
+    let table : (string, cell) Hashtbl.t = Hashtbl.create 256 in
+    for i = 0 to n - 1 do
+      let coords = Array.map cell_of features.(i) in
+      let key = cell_key coords in
+      let cell =
+        match Hashtbl.find_opt table key with
+        | Some c -> c
+        | None ->
+          let c = { goods = 0; bads = 0; members = []; coords } in
+          Hashtbl.add table key c;
+          c
+      in
+      if labels.(i) = 1 then cell.goods <- cell.goods + 1
+      else cell.bads <- cell.bads + 1;
+      cell.members <- i :: cell.members
+    done;
+    let centre coords =
+      Array.init dim (fun d ->
+          config.clip_lo
+          +. ((float_of_int coords.(d) +. 0.5)
+              /. float_of_int config.resolution *. span))
+    in
+    let out_f = ref [] and out_l = ref [] in
+    let kept = ref 0 and merged = ref 0 in
+    Hashtbl.iter
+      (fun _ cell ->
+        if cell.goods > 0 && cell.bads > 0 then
+          (* mixed cell: boundary territory, keep every point *)
+          List.iter
+            (fun i ->
+              out_f := features.(i) :: !out_f;
+              out_l := labels.(i) :: !out_l;
+              incr kept)
+            cell.members
+        else begin
+          incr merged;
+          out_f := centre cell.coords :: !out_f;
+          out_l := (if cell.goods > 0 then 1 else -1) :: !out_l
+        end)
+      table;
+    {
+      features = Array.of_list !out_f;
+      labels = Array.of_list !out_l;
+      kept_original = !kept;
+      merged_cells = !merged;
+    }
+  end

@@ -1,0 +1,28 @@
+(** Training-data compaction over a grid (Sec. 4.3): the normalised
+    training space is cut into cells; cells containing both good and
+    bad instances keep all their points (they carry boundary shape),
+    pure cells are merged into a single representative at the cell
+    centre. *)
+
+type config = {
+  resolution : int;   (** cells per dimension over the clip window *)
+  clip_lo : float;    (** window lower corner in normalised units *)
+  clip_hi : float;
+}
+
+val default_config : config
+(** resolution 8 over [-0.5, 1.5] (one range-width of margin around the
+    normalised acceptance box). *)
+
+type result = {
+  features : float array array;
+  labels : int array;
+  kept_original : int;   (** original points retained (mixed cells) *)
+  merged_cells : int;    (** pure cells collapsed to their centre *)
+}
+
+val compact : ?config:config -> features:float array array ->
+  labels:int array -> unit -> result
+(** [labels] are ±1. Points outside the clip window are clamped into
+    the edge cells for cell assignment but retain their true
+    coordinates if kept. *)

@@ -1,0 +1,30 @@
+type verdict = Good | Bad | Guard
+
+type classifier = float array -> int
+
+type t = {
+  tight : classifier;
+  loose : classifier;
+}
+
+let make ~tight ~loose = { tight; loose }
+
+let single c = { tight = c; loose = c }
+
+let classify t features =
+  let pt = t.tight features and pl = t.loose features in
+  match (pt, pl) with
+  | 1, 1 -> Good
+  | -1, -1 -> Bad
+  | 1, -1 | -1, 1 -> Guard
+  | _ -> invalid_arg "Guard_band.classify: classifier returned non-±1"
+
+let verdict_to_string = function
+  | Good -> "good"
+  | Bad -> "bad"
+  | Guard -> "guard"
+
+let equal_verdict a b =
+  match (a, b) with
+  | Good, Good | Bad, Bad | Guard, Guard -> true
+  | (Good | Bad | Guard), (Good | Bad | Guard) -> false

@@ -1,0 +1,30 @@
+(** Guard-banded three-way classification (Sec. 4.2, Fig. 4).
+
+    Two models are trained from acceptability ranges perturbed outward
+    (loose) and inward (tight) by the guard fraction. Agreement gives a
+    confident Good/Bad; disagreement places the device in the
+    guard-band region, to be routed to full test. *)
+
+type verdict = Good | Bad | Guard
+
+type classifier = float array -> int
+(** ±1 predictor over a feature vector. *)
+
+type t
+
+val make : tight:classifier -> loose:classifier -> t
+
+val single : classifier -> t
+(** Degenerate guard band: both models identical (never yields
+    [Guard]); useful for ablations. *)
+
+val classify : t -> float array -> verdict
+(** [Good] iff both predict +1, [Bad] iff both predict −1, else
+    [Guard]. A device inside the tight range is necessarily inside the
+    loose one, so with consistent models the tight prediction +1 and
+    loose −1 cannot co-occur; if it does (model noise) the verdict is
+    still [Guard]. *)
+
+val verdict_to_string : verdict -> string
+
+val equal_verdict : verdict -> verdict -> bool

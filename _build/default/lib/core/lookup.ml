@@ -1,0 +1,154 @@
+type config = {
+  resolution : int;
+  clip_lo : float;
+  clip_hi : float;
+}
+
+let default_config = { resolution = 16; clip_lo = -0.5; clip_hi = 1.5 }
+
+type t = {
+  config : config;
+  dim : int;
+  table : Guard_band.verdict array;  (* row-major over dim digits *)
+}
+
+let max_cells = 1 lsl 22
+
+let build ?(config = default_config) ~dim classify =
+  if dim <= 0 then invalid_arg "Lookup.build: dim must be positive";
+  if config.resolution <= 0 then invalid_arg "Lookup.build: bad resolution";
+  let cells =
+    let rec power acc k = if k = 0 then acc else power (acc * config.resolution) (k - 1) in
+    power 1 dim
+  in
+  if cells > max_cells then
+    invalid_arg
+      (Printf.sprintf "Lookup.build: %d^%d cells exceed the %d cap"
+         config.resolution dim max_cells);
+  let span = config.clip_hi -. config.clip_lo in
+  let centre idx =
+    (* decode the flat index into per-dimension digits *)
+    let coords = Array.make dim 0 in
+    let rest = ref idx in
+    for d = dim - 1 downto 0 do
+      coords.(d) <- !rest mod config.resolution;
+      rest := !rest / config.resolution
+    done;
+    Array.map
+      (fun c ->
+        config.clip_lo
+        +. ((float_of_int c +. 0.5) /. float_of_int config.resolution *. span))
+      coords
+  in
+  let table = Array.init cells (fun idx -> classify (centre idx)) in
+  { config; dim; table }
+
+let cell_index t v =
+  if Array.length v <> t.dim then invalid_arg "Lookup.lookup: dimension mismatch";
+  let span = t.config.clip_hi -. t.config.clip_lo in
+  let idx = ref 0 in
+  for d = 0 to t.dim - 1 do
+    let raw =
+      int_of_float
+        (Float.floor
+           ((v.(d) -. t.config.clip_lo) /. span *. float_of_int t.config.resolution))
+    in
+    let c = Stdlib.max 0 (Stdlib.min (t.config.resolution - 1) raw) in
+    idx := (!idx * t.config.resolution) + c
+  done;
+  !idx
+
+let lookup t v = t.table.(cell_index t v)
+
+let dim t = t.dim
+
+let cells t = Array.length t.table
+
+let verdict_counts t =
+  Array.fold_left
+    (fun (g, b, u) v ->
+      match v with
+      | Guard_band.Good -> (g + 1, b, u)
+      | Guard_band.Bad -> (g, b + 1, u)
+      | Guard_band.Guard -> (g, b, u + 1))
+    (0, 0, 0) t.table
+
+let to_string t =
+  let buffer = Buffer.create (Array.length t.table + 128) in
+  Buffer.add_string buffer "stc-lookup-1\n";
+  Buffer.add_string buffer
+    (Printf.sprintf "dim %d\nresolution %d\nclip %.17g %.17g\ncells "
+       t.dim t.config.resolution t.config.clip_lo t.config.clip_hi);
+  Array.iter
+    (fun v ->
+      Buffer.add_char buffer
+        (match v with
+         | Guard_band.Good -> 'G'
+         | Guard_band.Bad -> 'B'
+         | Guard_band.Guard -> 'U'))
+    t.table;
+  Buffer.add_char buffer '\n';
+  Buffer.contents buffer
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [ "stc-lookup-1"; dim_line; res_line; clip_line; cells_line ] ->
+    let field prefix line =
+      let p = prefix ^ " " in
+      let n = String.length p in
+      if String.length line > n && String.sub line 0 n = p then
+        Some (String.sub line n (String.length line - n))
+      else None
+    in
+    (match
+       ( Option.bind (field "dim" dim_line) int_of_string_opt,
+         Option.bind (field "resolution" res_line) int_of_string_opt,
+         field "clip" clip_line,
+         field "cells" cells_line )
+     with
+     | Some dim, Some resolution, Some clip, Some cells ->
+       (match
+          String.split_on_char ' ' clip
+          |> List.filter (fun s -> s <> "")
+          |> List.map float_of_string_opt
+        with
+        | [ Some clip_lo; Some clip_hi ] ->
+          let expected =
+            let rec power acc k = if k = 0 then acc else power (acc * resolution) (k - 1) in
+            power 1 dim
+          in
+          if String.length cells <> expected then
+            Error "cell count does not match dim/resolution"
+          else begin
+            let table = Array.make expected Guard_band.Guard in
+            let ok = ref true in
+            String.iteri
+              (fun i c ->
+                match c with
+                | 'G' -> table.(i) <- Guard_band.Good
+                | 'B' -> table.(i) <- Guard_band.Bad
+                | 'U' -> table.(i) <- Guard_band.Guard
+                | _ -> ok := false)
+              cells;
+            if not !ok then Error "unknown cell character"
+            else Ok { config = { resolution; clip_lo; clip_hi }; dim; table }
+          end
+        | _ -> Error "bad clip line")
+     | _ -> Error "missing or malformed header fields")
+  | _ -> Error "expected a 5-line stc-lookup-1 document"
+
+let agreement t classify ~points =
+  if Array.length points = 0 then 1.0
+  else begin
+    let same = ref 0 in
+    Array.iter
+      (fun p ->
+        if Guard_band.equal_verdict (lookup t p) (classify p) then incr same)
+      points;
+    float_of_int !same /. float_of_int (Array.length points)
+  end

@@ -1,0 +1,45 @@
+(** Grid lookup table for the tester (Sec. 3.3, Fig. 3): the space of
+    the remaining (compacted) specifications is cut into cells, each
+    assigned a verdict sampled from the statistical model at its
+    centre. The tester then bins a part with one table access instead
+    of evaluating the SVM. *)
+
+type config = {
+  resolution : int;
+  clip_lo : float;  (** window corners in normalised spec units *)
+  clip_hi : float;
+}
+
+val default_config : config
+
+type t
+
+val build : ?config:config -> dim:int ->
+  (float array -> Guard_band.verdict) -> t
+(** Tabulates the classifier at every cell centre. The table has
+    [resolution^dim] cells; raises [Invalid_argument] when that exceeds
+    2²² cells (≈4 M) — at tester-relevant dimensions (2–6 kept specs)
+    this is never hit. *)
+
+val lookup : t -> float array -> Guard_band.verdict
+(** Verdict of the cell containing the (normalised) measurement vector;
+    out-of-window values are clamped into the edge cells, which is
+    conservative because the window edge cells are bad/guard in
+    practice. *)
+
+val dim : t -> int
+val cells : t -> int
+
+val verdict_counts : t -> int * int * int
+(** (good, bad, guard) cell counts — table audit. *)
+
+val agreement : t -> (float array -> Guard_band.verdict) ->
+  points:float array array -> float
+(** Fraction of [points] on which the table reproduces the model. *)
+
+val to_string : t -> string
+(** Serialises the table (one character per cell) so the compacted test
+    program can be shipped to the tester. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}. *)

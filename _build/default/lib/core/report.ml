@@ -1,0 +1,92 @@
+let table ?title ~header rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length header then
+        invalid_arg "Report.table: row arity mismatch")
+    rows;
+  let all = header :: rows in
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun j cell ->
+         widths.(j) <- Stdlib.max widths.(j) (String.length cell)))
+    all;
+  let buf = Buffer.create 256 in
+  (match title with
+   | Some t ->
+     Buffer.add_string buf t;
+     Buffer.add_char buf '\n'
+   | None -> ());
+  let render_row row =
+    List.iteri
+      (fun j cell ->
+        if j > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(j) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row header;
+  let rule = List.init ncols (fun j -> String.make widths.(j) '-') in
+  render_row rule;
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let series ?title ~x_label ~x columns =
+  List.iter
+    (fun (_, col) ->
+      if List.length col <> List.length x then
+        invalid_arg "Report.series: column length mismatch")
+    columns;
+  let header = x_label :: List.map fst columns in
+  let rows =
+    List.mapi
+      (fun i xi ->
+        xi :: List.map (fun (_, col) -> Printf.sprintf "%.3g" (List.nth col i))
+                columns)
+      x
+  in
+  table ?title ~header rows
+
+let pct v = Printf.sprintf "%.2f%%" v
+
+let g3 v = Printf.sprintf "%.3g" v
+
+let ascii_plot ?(width = 60) ?(height = 24) points =
+  if Array.length points = 0 then "(no points)\n"
+  else begin
+    let xs = Array.map fst points and ys = Array.map snd points in
+    let x0 = Stc_numerics.Stats.min xs and x1 = Stc_numerics.Stats.max xs in
+    let y0 = Stc_numerics.Stats.min ys and y1 = Stc_numerics.Stats.max ys in
+    let dx = if x1 > x0 then x1 -. x0 else 1.0 in
+    let dy = if y1 > y0 then y1 -. y0 else 1.0 in
+    let grid = Array.make_matrix height width 0 in
+    Array.iter
+      (fun (x, y) ->
+        let cx =
+          Stdlib.min (width - 1)
+            (int_of_float ((x -. x0) /. dx *. float_of_int (width - 1)))
+        in
+        let cy =
+          Stdlib.min (height - 1)
+            (int_of_float ((y -. y0) /. dy *. float_of_int (height - 1)))
+        in
+        grid.(height - 1 - cy).(cx) <- grid.(height - 1 - cy).(cx) + 1)
+      points;
+    let buf = Buffer.create (height * (width + 1)) in
+    Array.iter
+      (fun row ->
+        Array.iter
+          (fun count ->
+            let ch =
+              if count = 0 then ' '
+              else if count < 2 then '.'
+              else if count < 5 then '+'
+              else '#'
+            in
+            Buffer.add_char buf ch)
+          row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.contents buf
+  end

@@ -1,0 +1,23 @@
+(** Plain-text rendering of tables and series for the bench harness and
+    CLI — the "regenerate the paper's tables" output layer. *)
+
+val table : ?title:string -> header:string list -> string list list -> string
+(** Column-aligned ASCII table. All rows must have the header's arity. *)
+
+val series :
+  ?title:string -> x_label:string -> x:string list ->
+  (string * float list) list -> string
+(** A figure rendered as a table: one row per x value, one column per
+    curve. Column lists must match the length of [x]. *)
+
+val pct : float -> string
+(** Formats a percentage with two decimals, e.g. "0.60%". *)
+
+val g3 : float -> string
+(** Compact %g with 3 significant digits. *)
+
+val ascii_plot :
+  ?width:int -> ?height:int -> (float * float) array -> string
+(** Quick scatter/level plot of a 2-D region sample set for the Fig. 3
+    illustration: points are binned to a character grid; density shown
+    as characters. *)

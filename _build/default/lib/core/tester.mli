@@ -1,0 +1,41 @@
+(** Production-tester simulation: run a compacted flow over a stream of
+    devices, bin them, and optionally resolve guard-band parts by full
+    (adaptive) test — the deployment story of Sec. 3.3/4.2. *)
+
+type bin = Ship | Scrap | Retest
+
+type outcome = {
+  bin : bin;
+  verdict : Guard_band.verdict;
+  truth_good : bool;
+}
+
+type summary = {
+  shipped : int;
+  scrapped : int;
+  retested : int;
+  shipped_bad : int;   (** defect escapes that reached customers *)
+  scrapped_good : int; (** yield loss *)
+  counts : Metrics.counts;
+}
+
+val run :
+  ?resolve_guard:bool ->
+  Compaction.flow ->
+  Device_data.t ->
+  outcome array * summary
+(** Bins every instance. With [resolve_guard] (default true) guard-band
+    parts are fully tested — they ship exactly when truly good, so they
+    contribute no escape or loss, only retest cost. With
+    [resolve_guard:false] guard parts are scrapped conservatively. *)
+
+val with_lookup :
+  Compaction.flow -> resolution:int -> Lookup.t option
+(** Builds the tester lookup table over the kept-spec space when the
+    flow has a model and the dimensionality is tractable (≤ 6 kept
+    specs); [None] otherwise. *)
+
+val lookup_flow_verdict :
+  Compaction.flow -> Lookup.t -> float array -> Guard_band.verdict
+(** Like {!Compaction.flow_verdict} but the model consultation goes
+    through the lookup table — what the real tester program would do. *)

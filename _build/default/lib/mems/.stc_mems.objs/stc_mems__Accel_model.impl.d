@@ -1,0 +1,1 @@
+lib/mems/accel_model.ml: Array Beam Complex Float Geometry Material Stc_numerics

@@ -1,0 +1,1 @@
+lib/mems/accel_model.mli: Complex Geometry

@@ -1,0 +1,1 @@
+lib/mems/beam.mli:

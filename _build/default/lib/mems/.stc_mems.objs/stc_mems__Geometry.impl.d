@@ -1,0 +1,1 @@
+lib/mems/geometry.ml: Array Beam Float Material

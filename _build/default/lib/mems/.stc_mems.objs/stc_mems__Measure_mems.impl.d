@@ -1,0 +1,1 @@
+lib/mems/measure_mems.ml: Accel_model Complex Float Material Printf Stc_numerics

@@ -1,0 +1,1 @@
+lib/mems/measure_mems.mli: Geometry

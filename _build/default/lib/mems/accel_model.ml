@@ -1,0 +1,95 @@
+type t = {
+  geometry : Geometry.t;
+  temp : float;
+  kxx : float;
+  kyy : float;
+  kxy : float;
+  m : float;
+  b : float;
+  gap : float;  (* temperature-corrected finger gap *)
+}
+
+let cte_film = 2.6e-6
+
+let build geometry ~temp =
+  let kxx = ref 0.0 and kyy = ref 0.0 and kxy = ref 0.0 in
+  Array.iter
+    (fun { Geometry.beam; angle } ->
+      let ka = Beam.folded_axial_stiffness beam ~temp in
+      let kl = Beam.lateral_stiffness beam ~temp in
+      let cx = cos angle and sy = sin angle in
+      (* K = ka·uuᵀ + kl·(I − uuᵀ) with u = (cx, sy) *)
+      kxx := !kxx +. (ka *. cx *. cx) +. (kl *. sy *. sy);
+      kyy := !kyy +. (ka *. sy *. sy) +. (kl *. cx *. cx);
+      kxy := !kxy +. ((ka -. kl) *. cx *. sy))
+    geometry.Geometry.springs;
+  let gap =
+    geometry.Geometry.finger_gap
+    *. (1.0 +. (cte_film *. (temp -. Material.room_temperature)))
+  in
+  {
+    geometry;
+    temp;
+    kxx = !kxx;
+    kyy = !kyy;
+    kxy = !kxy;
+    m = Geometry.proof_mass geometry;
+    b = Geometry.damping_coefficient geometry ~temp;
+    gap;
+  }
+
+let stiffness t = (t.kxx, t.kyy, t.kxy)
+
+let mass t = t.m
+
+let damping t = t.b
+
+let resonance t = sqrt (t.kxx /. t.m) /. (2.0 *. Float.pi)
+
+let quality_estimate t = sqrt (t.kxx *. t.m) /. t.b
+
+type axis = X_axis | Y_axis
+
+(* Solve the 2x2 complex system (K - w²M + jwB) X = F directly. *)
+let displacement t ~axis ~freq ~accel =
+  let w = 2.0 *. Float.pi *. freq in
+  let diag k = { Complex.re = k -. (w *. w *. t.m); im = w *. t.b } in
+  let a11 = diag t.kxx and a22 = diag t.kyy in
+  let a12 = { Complex.re = t.kxy; im = 0.0 } in
+  let f = t.m *. accel in
+  let f1, f2 =
+    match axis with
+    | X_axis -> ({ Complex.re = f; im = 0.0 }, Complex.zero)
+    | Y_axis -> (Complex.zero, { Complex.re = f; im = 0.0 })
+  in
+  let det = Complex.sub (Complex.mul a11 a22) (Complex.mul a12 a12) in
+  (* x = (a22 f1 - a12 f2) / det *)
+  Complex.div (Complex.sub (Complex.mul a22 f1) (Complex.mul a12 f2)) det
+
+let readout_mv_per_v t ~x = 1000.0 *. 2.0 *. x /. t.gap
+
+(* state vector [x; y; vx; vy] *)
+let step_response t ~axis ~accel ~tstop ~dt =
+  let fx, fy =
+    match axis with
+    | X_axis -> (t.m *. accel, 0.0)
+    | Y_axis -> (0.0, t.m *. accel)
+  in
+  let derivative _ s =
+    let x = s.(0) and y = s.(1) and vx = s.(2) and vy = s.(3) in
+    [|
+      vx;
+      vy;
+      (fx -. (t.b *. vx) -. (t.kxx *. x) -. (t.kxy *. y)) /. t.m;
+      (fy -. (t.b *. vy) -. (t.kxy *. x) -. (t.kyy *. y)) /. t.m;
+    |]
+  in
+  let trajectory =
+    Stc_numerics.Ode.integrate derivative ~t0:0.0 ~t1:tstop ~dt
+      ~y0:[| 0.0; 0.0; 0.0; 0.0 |]
+  in
+  Array.map (fun (time, s) -> (time, s.(0))) trajectory
+
+let response_mv_per_v t ~axis ~freq =
+  let x = displacement t ~axis ~freq ~accel:Material.gravity in
+  readout_mv_per_v t ~x:(Complex.norm x)

@@ -1,0 +1,74 @@
+type spring = {
+  beam : Beam.t;
+  angle : float;
+}
+
+type t = {
+  plate_length : float;
+  plate_width : float;
+  thickness : float;
+  springs : spring array;
+  finger_count : int;
+  finger_overlap : float;
+  finger_gap : float;
+  substrate_gap : float;
+  damping_factor : float;
+}
+
+let half_pi = Float.pi /. 2.0
+
+(* Nominal per-spring skew from the ideal ±90° orientation (a release /
+   lithography bias); the alternating sign cancels the net cross-axis
+   coupling of the nominal device. *)
+let nominal_skew = 0.00873 (* 0.5 degrees *)
+
+let ideal_angles = [| half_pi; half_pi; -.half_pi; -.half_pi |]
+
+let nominal =
+  let beam = { Beam.length = 260e-6; width = 2.13e-6; thickness = 5e-6 } in
+  {
+    plate_length = 300e-6;
+    plate_width = 300e-6;
+    thickness = 5e-6;
+    springs =
+      [|
+        { beam; angle = half_pi +. nominal_skew };
+        { beam; angle = half_pi -. nominal_skew };
+        { beam; angle = -.half_pi +. nominal_skew };
+        { beam; angle = -.half_pi -. nominal_skew };
+      |];
+    finger_count = 60;
+    finger_overlap = 100e-6;
+    finger_gap = 1.5e-6;
+    substrate_gap = 2.0e-6;
+    (* calibrated so the nominal quality factor is ~2.1, standing in for
+       the NODAS squeeze-film model we do not reproduce in detail *)
+    damping_factor = 14.6;
+  }
+
+let proof_mass g =
+  let plate = Material.density *. g.plate_length *. g.plate_width *. g.thickness in
+  let fingers =
+    Material.density *. float_of_int (2 * g.finger_count) *. g.finger_overlap
+    *. 3e-6 *. g.thickness
+  in
+  let beams =
+    Array.fold_left (fun acc s -> acc +. Beam.mass s.beam) 0.0 g.springs
+  in
+  plate +. (0.5 *. fingers) +. ((13.0 /. 35.0) *. beams)
+
+let epsilon0 = 8.854e-12
+
+let rest_capacitance g =
+  float_of_int g.finger_count *. epsilon0 *. g.finger_overlap *. g.thickness
+  /. g.finger_gap
+
+let damping_coefficient g ~temp =
+  let mu = Material.air_viscosity temp in
+  let plate_area = g.plate_length *. g.plate_width in
+  let couette = mu *. plate_area /. g.substrate_gap in
+  let comb_area =
+    float_of_int (2 * g.finger_count) *. g.finger_overlap *. g.thickness
+  in
+  let comb = mu *. comb_area /. g.finger_gap in
+  g.damping_factor *. (couette +. comb)

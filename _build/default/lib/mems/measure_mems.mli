@@ -1,0 +1,31 @@
+(** Extraction of the paper's five accelerometer specifications
+    (Table 2) at one temperature, and the 15-value tri-temperature
+    test suite. *)
+
+type values = {
+  scale_factor : float;      (** mV/V per g, at DC *)
+  cross_axis : float;        (** mV/V per g of cross-axis acceleration,
+                                 signed by the coupling direction *)
+  peak_freq : float;         (** kHz *)
+  quality : float;           (** dimensionless, from the half-power width *)
+  bandwidth : float;         (** kHz, +3 dB flat-band edge (−3 dB
+                                 low-pass crossing for overdamped parts) *)
+}
+
+val names : string array
+val units : string array
+
+val to_array : values -> float array
+
+exception Measurement_failed of string
+
+val measure : Geometry.t -> temp:float -> values
+
+val cold_temp : float
+(** -40 °C *)
+
+val hot_temp : float
+(** 80 °C *)
+
+val tri_temperature : Geometry.t -> values * values * values
+(** (room, cold, hot) measurements. *)

@@ -1,0 +1,1 @@
+lib/numerics/mat.ml: Array Format Printf

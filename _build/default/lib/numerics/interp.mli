@@ -1,0 +1,25 @@
+(** Interpolation and sweep-point generation. *)
+
+val linear : (float * float) array -> float -> float
+(** [linear points x] interpolates linearly on [points] (sorted by
+    ascending abscissa); clamps outside the range. Requires at least
+    one point. *)
+
+val crossing :
+  (float * float) array -> level:float -> direction:[ `Rising | `Falling | `Any ] ->
+  float option
+(** First abscissa at which the piecewise-linear curve crosses [level]
+    in the given direction. *)
+
+val crossings :
+  (float * float) array -> level:float -> direction:[ `Rising | `Falling | `Any ] ->
+  float list
+(** All crossings, in order. *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace lo hi n] is [n] equally spaced points, endpoints
+    included. Requires [n >= 2]. *)
+
+val logspace : float -> float -> int -> float array
+(** [logspace lo hi n]: [n] points logarithmically spaced between
+    [lo] and [hi]. Requires [0 < lo], [lo < hi], [n >= 2]. *)

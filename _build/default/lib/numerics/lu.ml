@@ -1,0 +1,90 @@
+exception Singular of int
+
+type t = {
+  lu : Mat.t;          (* packed L (unit diagonal, below) and U (on/above) *)
+  perm : int array;    (* row permutation *)
+  sign : float;        (* permutation parity, for det *)
+}
+
+(* Doolittle LU with partial pivoting. Entries below the diagonal hold L,
+   the diagonal and above hold U. *)
+let factor a =
+  let n, m = Mat.dims a in
+  if n <> m then invalid_arg "Lu.factor: matrix not square";
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* pivot search in column k *)
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !pivot k) then
+        pivot := i
+    done;
+    if Float.abs (Mat.get lu !pivot k) < 1e-300 then raise (Singular k);
+    if !pivot <> k then begin
+      for j = 0 to n - 1 do
+        let t = Mat.get lu k j in
+        Mat.set lu k j (Mat.get lu !pivot j);
+        Mat.set lu !pivot j t
+      done;
+      let t = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- t;
+      sign := -. !sign
+    end;
+    let pk = Mat.get lu k k in
+    for i = k + 1 to n - 1 do
+      let lik = Mat.get lu i k /. pk in
+      Mat.set lu i k lik;
+      if lik <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Mat.set lu i j (Mat.get lu i j -. (lik *. Mat.get lu k j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve_in_place f b =
+  let n, _ = Mat.dims f.lu in
+  if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  (* apply permutation *)
+  let x = Array.init n (fun i -> b.(f.perm.(i))) in
+  (* forward substitution, L has unit diagonal *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.get f.lu i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* back substitution *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get f.lu i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Mat.get f.lu i i
+  done;
+  Array.blit x 0 b 0 n
+
+let solve f b =
+  let x = Vec.copy b in
+  solve_in_place f x;
+  x
+
+let det f =
+  let n, _ = Mat.dims f.lu in
+  let d = ref f.sign in
+  for i = 0 to n - 1 do
+    d := !d *. Mat.get f.lu i i
+  done;
+  !d
+
+let solve_system a b = solve (factor a) b
+
+let least_squares a b =
+  let at = Mat.transpose a in
+  let ata = Mat.mul at a in
+  let atb = Mat.mul_vec at b in
+  solve_system ata atb

@@ -1,0 +1,29 @@
+(** LU factorisation with partial pivoting, the linear solver behind DC,
+    transient and least-squares computations. *)
+
+exception Singular of int
+(** Raised when a pivot column [i] has no usable pivot (matrix is
+    numerically singular). *)
+
+type t
+(** A factorisation of a square matrix. *)
+
+val factor : Mat.t -> t
+(** [factor a] computes PA = LU. Raises [Singular] if [a] is singular,
+    [Invalid_argument] if [a] is not square. [a] is not modified. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve lu b] solves [A x = b]. *)
+
+val solve_in_place : t -> Vec.t -> unit
+(** As {!solve} but overwrites [b] with the solution. *)
+
+val det : t -> float
+(** Determinant of the factored matrix. *)
+
+val solve_system : Mat.t -> Vec.t -> Vec.t
+(** One-shot [factor] + [solve]. *)
+
+val least_squares : Mat.t -> Vec.t -> Vec.t
+(** [least_squares a b] solves the normal equations [Aᵀ A x = Aᵀ b];
+    suitable for small well-conditioned fitting problems. *)

@@ -1,0 +1,53 @@
+type t = float array
+
+let eval c x =
+  let acc = ref 0.0 in
+  for k = Array.length c - 1 downto 0 do
+    acc := (!acc *. x) +. c.(k)
+  done;
+  !acc
+
+let derive c =
+  let n = Array.length c in
+  if n <= 1 then [||]
+  else Array.init (n - 1) (fun k -> float_of_int (k + 1) *. c.(k + 1))
+
+let add a b =
+  let n = Stdlib.max (Array.length a) (Array.length b) in
+  Array.init n (fun k ->
+      (if k < Array.length a then a.(k) else 0.0)
+      +. if k < Array.length b then b.(k) else 0.0)
+
+let mul a b =
+  if Array.length a = 0 || Array.length b = 0 then [||]
+  else begin
+    let c = Array.make (Array.length a + Array.length b - 1) 0.0 in
+    Array.iteri
+      (fun i ai ->
+        Array.iteri (fun j bj -> c.(i + j) <- c.(i + j) +. (ai *. bj)) b)
+      a;
+    c
+  end
+
+let fit points ~degree =
+  if degree < 0 then invalid_arg "Poly.fit: negative degree";
+  if Array.length points <= degree then
+    invalid_arg "Poly.fit: not enough points for requested degree";
+  let m = Array.length points in
+  let a = Mat.init m (degree + 1) (fun i k -> fst points.(i) ** float_of_int k) in
+  let b = Array.map snd points in
+  Lu.least_squares a b
+
+let roots_in c ~lo ~hi ~steps =
+  let f = eval c in
+  let h = (hi -. lo) /. float_of_int steps in
+  let out = ref [] in
+  for i = 0 to steps - 1 do
+    let a = lo +. (h *. float_of_int i) in
+    let b = a +. h in
+    let fa = f a and fb = f b in
+    if fa = 0.0 then out := a :: !out
+    else if (fa < 0.0 && fb > 0.0) || (fa > 0.0 && fb < 0.0) then
+      out := Roots.brent f a b :: !out
+  done;
+  List.rev !out

@@ -1,0 +1,20 @@
+(** Polynomials with float coefficients, lowest degree first. *)
+
+type t = float array
+(** [c.(k)] is the coefficient of x^k. The zero polynomial is [||]. *)
+
+val eval : t -> float -> float
+(** Horner evaluation. *)
+
+val derive : t -> t
+
+val add : t -> t -> t
+val mul : t -> t -> t
+
+val fit : (float * float) array -> degree:int -> t
+(** Least-squares polynomial fit through the given points. Requires
+    more points than [degree]. *)
+
+val roots_in : t -> lo:float -> hi:float -> steps:int -> float list
+(** Real roots located by sign-change scanning plus Brent refinement;
+    resolution limited by [steps]. *)

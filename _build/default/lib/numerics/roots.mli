@@ -1,0 +1,20 @@
+(** Scalar root finding, used for spec extraction (e.g. locating the
+    -3 dB crossing of a frequency response). *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [bisect f a b] finds a root of [f] in [a, b]. Requires
+    [f a] and [f b] of opposite (or zero) sign, else
+    [Invalid_argument]. Default [tol] 1e-12 (on the interval width),
+    [max_iter] 200. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** Brent's method (inverse quadratic interpolation with bisection
+    fallback); same contract as {!bisect}, faster convergence. *)
+
+val find_bracket :
+  (float -> float) -> lo:float -> hi:float -> steps:int ->
+  (float * float) option
+(** Scans [lo, hi] in [steps] equal segments and returns the first
+    sub-interval over which [f] changes sign. *)

@@ -1,0 +1,1 @@
+lib/process/montecarlo.ml: Array Atomic Domain List Printf Stc_numerics Stdlib Variation

@@ -1,0 +1,1 @@
+lib/process/montecarlo.mli: Stc_numerics Variation

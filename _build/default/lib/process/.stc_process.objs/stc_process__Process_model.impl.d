@@ -1,0 +1,1 @@
+lib/process/process_model.ml: Array Float Montecarlo Stc_numerics Variation

@@ -1,0 +1,1 @@
+lib/process/process_model.mli: Montecarlo Stc_numerics Variation

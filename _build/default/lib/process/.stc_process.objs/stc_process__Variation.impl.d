@@ -1,0 +1,1 @@
+lib/process/variation.ml: Array Float Format Printf Stc_numerics

@@ -1,0 +1,134 @@
+type device = {
+  device_name : string;
+  params : Variation.param array;
+  spec_count : int;
+  simulate : float array -> float array option;
+}
+
+type dataset = {
+  inputs : float array array;
+  specs : float array array;
+  discarded : int;
+}
+
+exception Too_many_failures of string
+
+let check_spec_count device values =
+  if Array.length values <> device.spec_count then
+    invalid_arg "Montecarlo: simulate returned wrong spec count"
+
+let generate_with ?(max_failure_ratio = 0.5) rng device ~draw ~n =
+  if n <= 0 then invalid_arg "Montecarlo.generate: n must be positive";
+  let max_failures =
+    Stdlib.max 10 (int_of_float (max_failure_ratio *. float_of_int n))
+  in
+  let inputs = ref [] and specs = ref [] in
+  let produced = ref 0 and failed = ref 0 in
+  while !produced < n do
+    let params = draw rng in
+    match device.simulate params with
+    | Some values ->
+      check_spec_count device values;
+      inputs := params :: !inputs;
+      specs := values :: !specs;
+      incr produced
+    | None ->
+      incr failed;
+      if !failed > max_failures then
+        raise
+          (Too_many_failures
+             (Printf.sprintf "%s: %d failed draws for %d requested instances"
+                device.device_name !failed n))
+  done;
+  {
+    inputs = Array.of_list (List.rev !inputs);
+    specs = Array.of_list (List.rev !specs);
+    discarded = !failed;
+  }
+
+let generate ?max_failure_ratio rng device ~n =
+  generate_with ?max_failure_ratio rng device
+    ~draw:(fun rng -> Variation.sample_all rng device.params)
+    ~n
+
+(* Per-instance deterministic generator: mixes the experiment seed with
+   the instance index and attempt number, so parallel scheduling cannot
+   change the data. *)
+let instance_rng ~seed ~index ~attempt =
+  Stc_numerics.Rng.create
+    (seed + (index * 0x9E3779B1) + (attempt * 0x85EBCA77))
+
+let generate_parallel ?(max_failure_ratio = 0.5) ?domains ~seed device ~n =
+  if n <= 0 then invalid_arg "Montecarlo.generate_parallel: n must be positive";
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> invalid_arg "Montecarlo.generate_parallel: domains must be >= 1"
+    | None -> Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let max_failures =
+    Stdlib.max 10 (int_of_float (max_failure_ratio *. float_of_int n))
+  in
+  let inputs = Array.make n [||] in
+  let specs = Array.make n [||] in
+  let failures = Atomic.make 0 in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec claim () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (* retry draws within this instance's private sub-streams *)
+        let rec attempt_loop attempt =
+          if Atomic.get failures > max_failures then ()
+          else begin
+            let rng = instance_rng ~seed ~index:i ~attempt in
+            let params = Variation.sample_all rng device.params in
+            match device.simulate params with
+            | Some values ->
+              check_spec_count device values;
+              inputs.(i) <- params;
+              specs.(i) <- values
+            | None ->
+              Atomic.incr failures;
+              attempt_loop (attempt + 1)
+          end
+        in
+        attempt_loop 0;
+        claim ()
+      end
+    in
+    claim ()
+  in
+  if domains = 1 then worker ()
+  else begin
+    let handles = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join handles
+  end;
+  if Atomic.get failures > max_failures then
+    raise
+      (Too_many_failures
+         (Printf.sprintf "%s: %d failed draws for %d requested instances"
+            device.device_name (Atomic.get failures) n));
+  { inputs; specs; discarded = Atomic.get failures }
+
+let take d n =
+  if n < 0 || n > Array.length d.inputs then
+    invalid_arg "Montecarlo.take: out of range";
+  {
+    inputs = Array.sub d.inputs 0 n;
+    specs = Array.sub d.specs 0 n;
+    discarded = 0;
+  }
+
+let split d ~at =
+  let total = Array.length d.inputs in
+  if at < 0 || at > total then invalid_arg "Montecarlo.split: out of range";
+  ( take d at,
+    {
+      inputs = Array.sub d.inputs at (total - at);
+      specs = Array.sub d.specs at (total - at);
+      discarded = 0;
+    } )
+
+let spec_column d j = Array.map (fun row -> row.(j)) d.specs

@@ -1,0 +1,61 @@
+(** Monte-Carlo training/test instance generation — the Figure 1 flow
+    of the paper: draw a parameter vector from the process model,
+    simulate the device, record the measured specification values. *)
+
+type device = {
+  device_name : string;
+  params : Variation.param array;
+  spec_count : int;
+  simulate : float array -> float array option;
+      (** [simulate params] returns the measured spec values, or [None]
+          when the instance fails to simulate (e.g. a broken bias
+          point); such draws are discarded and redrawn, like a die that
+          shorts out on the tester. *)
+}
+
+type dataset = {
+  inputs : float array array;  (** parameter vectors, one per instance *)
+  specs : float array array;   (** measured spec values, one per instance *)
+  discarded : int;             (** draws rejected because simulation failed *)
+}
+
+exception Too_many_failures of string
+
+val generate : ?max_failure_ratio:float -> Stc_numerics.Rng.t -> device ->
+  n:int -> dataset
+(** Draws until [n] instances simulate successfully. Raises
+    [Too_many_failures] once failures exceed
+    [max_failure_ratio]·n (default 0.5) — a guard against a device
+    that never simulates. *)
+
+val generate_with :
+  ?max_failure_ratio:float ->
+  Stc_numerics.Rng.t ->
+  device ->
+  draw:(Stc_numerics.Rng.t -> float array) ->
+  n:int ->
+  dataset
+(** As {!generate} but with a custom parameter sampler — used by the
+    correlated process model and defect injection of {!Process_model}. *)
+
+val generate_parallel :
+  ?max_failure_ratio:float ->
+  ?domains:int ->
+  seed:int ->
+  device ->
+  n:int ->
+  dataset
+(** Multicore {!generate}: instance [i] is drawn from its own generator
+    derived from [(seed, i)], so the result is identical regardless of
+    [domains] (default: [Domain.recommended_domain_count]) — and also
+    identical to [generate_parallel ~domains:1]. Note the stream
+    differs from the sequential {!generate}. Each failed draw for an
+    instance advances that instance's private attempt counter. *)
+
+val split : dataset -> at:int -> dataset * dataset
+(** Splits into the first [at] instances and the rest. *)
+
+val take : dataset -> int -> dataset
+(** First [n] instances. *)
+
+val spec_column : dataset -> int -> float array

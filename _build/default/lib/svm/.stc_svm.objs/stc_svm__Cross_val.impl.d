@@ -1,0 +1,1 @@
+lib/svm/cross_val.ml: Array Kernel Stc_numerics Svc Svr

@@ -1,0 +1,1 @@
+lib/svm/cross_val.mli: Kernel Stc_numerics

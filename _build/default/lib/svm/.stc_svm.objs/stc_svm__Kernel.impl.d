@@ -1,0 +1,1 @@
+lib/svm/kernel.ml: Array Format Stc_numerics Stdlib

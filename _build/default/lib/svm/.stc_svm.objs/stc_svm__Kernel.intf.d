@@ -1,0 +1,1 @@
+lib/svm/kernel.mli: Format

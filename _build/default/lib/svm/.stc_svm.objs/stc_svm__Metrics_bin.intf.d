@@ -1,0 +1,1 @@
+lib/svm/metrics_bin.mli:

@@ -1,0 +1,1 @@
+lib/svm/model_io.ml: Array Buffer Kernel List Option Printf String Svc Svr

@@ -1,0 +1,1 @@
+lib/svm/model_io.mli: Kernel Svc Svr

@@ -1,0 +1,1 @@
+lib/svm/platt.mli: Svc

@@ -1,0 +1,1 @@
+lib/svm/row_cache.ml: Hashtbl Queue Stdlib

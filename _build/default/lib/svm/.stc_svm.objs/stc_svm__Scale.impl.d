@@ -1,0 +1,1 @@
+lib/svm/scale.ml: Array Stc_numerics

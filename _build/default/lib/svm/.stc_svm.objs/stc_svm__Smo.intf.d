@@ -1,0 +1,1 @@
+lib/svm/smo.mli:

@@ -1,0 +1,1 @@
+lib/svm/svc.ml: Array Kernel Row_cache Smo

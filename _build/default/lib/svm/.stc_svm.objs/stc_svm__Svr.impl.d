@@ -1,0 +1,1 @@
+lib/svm/svr.ml: Array Kernel Row_cache Smo

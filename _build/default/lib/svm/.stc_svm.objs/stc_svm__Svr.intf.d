@@ -1,0 +1,1 @@
+lib/svm/svr.mli: Kernel

@@ -1,0 +1,81 @@
+module Rng = Stc_numerics.Rng
+
+let kfold_indices rng ~n ~folds =
+  if folds < 2 || folds > n then invalid_arg "Cross_val.kfold_indices: bad folds";
+  let order = Array.init n (fun i -> i) in
+  Rng.shuffle rng order;
+  Array.init folds (fun f ->
+      (* fold f takes positions f, f+folds, f+2*folds, ... *)
+      let count = ((n - f - 1) / folds) + 1 in
+      Array.init count (fun k -> order.(f + (k * folds))))
+
+let split_fold x y fold_idx n =
+  let in_fold = Array.make n false in
+  Array.iter (fun i -> in_fold.(i) <- true) fold_idx;
+  let train_x = ref [] and train_y = ref [] in
+  for i = n - 1 downto 0 do
+    if not in_fold.(i) then begin
+      train_x := x.(i) :: !train_x;
+      train_y := y.(i) :: !train_y
+    end
+  done;
+  (Array.of_list !train_x, Array.of_list !train_y)
+
+let mean_over_folds rng ~n ~folds evaluate =
+  let assignments = kfold_indices rng ~n ~folds in
+  let total = Array.fold_left (fun acc f -> acc +. evaluate f) 0.0 assignments in
+  total /. float_of_int folds
+
+let svc_accuracy ?c ?kernel rng ~x ~y ~folds =
+  let n = Array.length x in
+  let evaluate fold_idx =
+    let train_x, train_y = split_fold x y fold_idx n in
+    let model = Svc.train ?c ?kernel ~x:train_x ~y:train_y () in
+    let correct =
+      Array.fold_left
+        (fun acc i -> if Svc.predict model x.(i) = y.(i) then acc + 1 else acc)
+        0 fold_idx
+    in
+    float_of_int correct /. float_of_int (Array.length fold_idx)
+  in
+  mean_over_folds rng ~n ~folds evaluate
+
+let svr_sign_accuracy ?c ?epsilon ?kernel rng ~x ~y ~folds =
+  let n = Array.length x in
+  let evaluate fold_idx =
+    let train_x, train_y = split_fold x y fold_idx n in
+    let model = Svr.train ?c ?epsilon ?kernel ~x:train_x ~y:train_y () in
+    let correct =
+      Array.fold_left
+        (fun acc i ->
+          let sign = if y.(i) >= 0.0 then 1 else -1 in
+          if Svr.classify model x.(i) = sign then acc + 1 else acc)
+        0 fold_idx
+    in
+    float_of_int correct /. float_of_int (Array.length fold_idx)
+  in
+  mean_over_folds rng ~n ~folds evaluate
+
+type grid_result = { c : float; gamma : float; accuracy : float }
+
+let grid_search_svc rng ~x ~y ~folds ~cs ~gammas =
+  if Array.length cs = 0 || Array.length gammas = 0 then
+    invalid_arg "Cross_val.grid_search_svc: empty grid";
+  let best = ref None in
+  Array.iter
+    (fun c ->
+      Array.iter
+        (fun gamma ->
+          (* copy the rng so every grid point sees identical folds *)
+          let rng' = Rng.copy rng in
+          let accuracy =
+            svc_accuracy ~c ~kernel:(Kernel.rbf gamma) rng' ~x ~y ~folds
+          in
+          match !best with
+          | Some b when b.accuracy >= accuracy -> ()
+          | Some _ | None -> best := Some { c; gamma; accuracy })
+        gammas)
+    cs;
+  match !best with
+  | Some b -> b
+  | None -> assert false

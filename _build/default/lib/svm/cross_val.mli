@@ -1,0 +1,28 @@
+(** k-fold cross-validation and hyper-parameter grid search for the
+    classifiers. *)
+
+val kfold_indices :
+  Stc_numerics.Rng.t -> n:int -> folds:int -> int array array
+(** Shuffled fold assignment: [folds] arrays of indices partitioning
+    [0, n). Requires [2 <= folds <= n]. *)
+
+val svc_accuracy :
+  ?c:float -> ?kernel:Kernel.t ->
+  Stc_numerics.Rng.t ->
+  x:float array array -> y:int array -> folds:int -> float
+(** Mean held-out accuracy of {!Svc.train} over the folds. *)
+
+val svr_sign_accuracy :
+  ?c:float -> ?epsilon:float -> ?kernel:Kernel.t ->
+  Stc_numerics.Rng.t ->
+  x:float array array -> y:float array -> folds:int -> float
+(** Mean held-out sign-agreement of {!Svr} used as a classifier. *)
+
+type grid_result = { c : float; gamma : float; accuracy : float }
+
+val grid_search_svc :
+  Stc_numerics.Rng.t ->
+  x:float array array -> y:int array -> folds:int ->
+  cs:float array -> gammas:float array -> grid_result
+(** Best (C, RBF γ) by cross-validated accuracy; ties go to the first
+    combination scanned. *)

@@ -1,0 +1,27 @@
+(** Kernel functions for the SVM solvers. *)
+
+type t =
+  | Linear
+  | Polynomial of { gamma : float; coef0 : float; degree : int }
+      (** (γ·⟨x,y⟩ + c₀)^d *)
+  | Rbf of { gamma : float }  (** exp(−γ·‖x−y‖²) *)
+  | Sigmoid of { gamma : float; coef0 : float }  (** tanh(γ·⟨x,y⟩ + c₀) *)
+
+val rbf : float -> t
+val linear : t
+
+val eval : t -> float array -> float array -> float
+(** [eval k x y] computes K(x, y). *)
+
+val default_gamma : dim:int -> float
+(** libsvm's default 1/dim heuristic. *)
+
+val median_gamma : float array array -> float
+(** The median heuristic: γ = 1 / median(‖xᵢ−xⱼ‖²) over a deterministic
+    subsample of pairs. Unlike 1/dim it adapts to the data's actual
+    spread, which matters when features are normalised by wide
+    acceptability ranges and the population occupies a small ball.
+    Falls back to {!default_gamma} when the data is degenerate (fewer
+    than two distinct points). *)
+
+val pp : Format.formatter -> t -> unit

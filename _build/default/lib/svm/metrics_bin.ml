@@ -1,0 +1,41 @@
+type confusion = {
+  tp : int;
+  tn : int;
+  fp : int;
+  fn : int;
+}
+
+let confusion ~truth ~predicted =
+  if Array.length truth <> Array.length predicted then
+    invalid_arg "Metrics_bin.confusion: length mismatch";
+  let c = ref { tp = 0; tn = 0; fp = 0; fn = 0 } in
+  Array.iteri
+    (fun i t ->
+      let p = predicted.(i) in
+      c :=
+        (match (t, p) with
+         | 1, 1 -> { !c with tp = !c.tp + 1 }
+         | -1, -1 -> { !c with tn = !c.tn + 1 }
+         | -1, 1 -> { !c with fp = !c.fp + 1 }
+         | 1, -1 -> { !c with fn = !c.fn + 1 }
+         | _ -> invalid_arg "Metrics_bin.confusion: labels must be +/-1"))
+    truth;
+  !c
+
+let total c = c.tp + c.tn + c.fp + c.fn
+
+let accuracy c =
+  let n = total c in
+  if n = 0 then 0.0 else float_of_int (c.tp + c.tn) /. float_of_int n
+
+let error_rate c = 1.0 -. accuracy c
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let precision c = ratio c.tp (c.tp + c.fp)
+
+let recall c = ratio c.tp (c.tp + c.fn)
+
+let f1 c =
+  let p = precision c and r = recall c in
+  if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)

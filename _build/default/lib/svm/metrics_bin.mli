@@ -1,0 +1,18 @@
+(** Binary-classification metrics over ±1 labels. *)
+
+type confusion = {
+  tp : int;  (** truth +1, predicted +1 *)
+  tn : int;
+  fp : int;  (** truth −1, predicted +1 *)
+  fn : int;
+}
+
+val confusion : truth:int array -> predicted:int array -> confusion
+
+val accuracy : confusion -> float
+val error_rate : confusion -> float
+val precision : confusion -> float
+val recall : confusion -> float
+val f1 : confusion -> float
+
+val total : confusion -> int

@@ -1,0 +1,103 @@
+(* Port of libsvm's sigmoid_train (Lin, Lin & Weng 2007): regularised
+   maximum-likelihood fit of A, B in P = 1/(1 + exp(A f + B)) with a
+   Newton iteration and backtracking line search. *)
+
+type t = { a : float; b : float }
+
+let fit ~decision_values ~labels =
+  let l = Array.length decision_values in
+  if Array.length labels <> l then invalid_arg "Platt.fit: length mismatch";
+  if l = 0 then invalid_arg "Platt.fit: empty input";
+  Array.iter
+    (fun y -> if y <> 1 && y <> -1 then invalid_arg "Platt.fit: labels must be ±1")
+    labels;
+  let prior1 = Array.fold_left (fun n y -> if y > 0 then n + 1 else n) 0 labels in
+  let prior0 = l - prior1 in
+  let hi_target = (float_of_int prior1 +. 1.0) /. (float_of_int prior1 +. 2.0) in
+  let lo_target = 1.0 /. (float_of_int prior0 +. 2.0) in
+  let target =
+    Array.map (fun y -> if y > 0 then hi_target else lo_target) labels
+  in
+  let max_iter = 100 in
+  let min_step = 1e-10 in
+  let sigma = 1e-12 in
+  let eps = 1e-5 in
+  let a = ref 0.0 in
+  let b = ref (log ((float_of_int prior0 +. 1.0) /. (float_of_int prior1 +. 1.0))) in
+  let objective av bv =
+    let fval = ref 0.0 in
+    for i = 0 to l - 1 do
+      let fapb = (decision_values.(i) *. av) +. bv in
+      if fapb >= 0.0 then
+        fval := !fval +. (target.(i) *. fapb) +. log (1.0 +. exp (-.fapb))
+      else
+        fval := !fval +. ((target.(i) -. 1.0) *. fapb) +. log (1.0 +. exp fapb)
+    done;
+    !fval
+  in
+  let fval = ref (objective !a !b) in
+  (try
+     for _ = 1 to max_iter do
+       (* gradient and Hessian *)
+       let h11 = ref sigma and h22 = ref sigma and h21 = ref 0.0 in
+       let g1 = ref 0.0 and g2 = ref 0.0 in
+       for i = 0 to l - 1 do
+         let fapb = (decision_values.(i) *. !a) +. !b in
+         let p, q =
+           if fapb >= 0.0 then
+             let e = exp (-.fapb) in
+             (e /. (1.0 +. e), 1.0 /. (1.0 +. e))
+           else begin
+             let e = exp fapb in
+             (1.0 /. (1.0 +. e), e /. (1.0 +. e))
+           end
+         in
+         let d2 = p *. q in
+         h11 := !h11 +. (decision_values.(i) *. decision_values.(i) *. d2);
+         h22 := !h22 +. d2;
+         h21 := !h21 +. (decision_values.(i) *. d2);
+         let d1 = target.(i) -. p in
+         g1 := !g1 +. (decision_values.(i) *. d1);
+         g2 := !g2 +. d1
+       done;
+       if Float.abs !g1 < eps && Float.abs !g2 < eps then raise Exit;
+       (* Newton direction *)
+       let det = (!h11 *. !h22) -. (!h21 *. !h21) in
+       let da = -.(((!h22 *. !g1) -. (!h21 *. !g2)) /. det) in
+       let db = -.(((-. !h21 *. !g1) +. (!h11 *. !g2)) /. det) in
+       let gd = (!g1 *. da) +. (!g2 *. db) in
+       (* backtracking line search *)
+       let step = ref 1.0 in
+       let advanced = ref false in
+       while (not !advanced) && !step >= min_step do
+         let new_a = !a +. (!step *. da) in
+         let new_b = !b +. (!step *. db) in
+         let new_f = objective new_a new_b in
+         if new_f < !fval +. (0.0001 *. !step *. gd) then begin
+           a := new_a;
+           b := new_b;
+           fval := new_f;
+           advanced := true
+         end
+         else step := !step /. 2.0
+       done;
+       if not !advanced then raise Exit
+     done
+   with Exit -> ());
+  { a = !a; b = !b }
+
+let probability t f =
+  let fapb = (t.a *. f) +. t.b in
+  if fapb >= 0.0 then begin
+    let e = exp (-.fapb) in
+    e /. (1.0 +. e)
+  end
+  else 1.0 /. (1.0 +. exp fapb)
+
+let parameters t = (t.a, t.b)
+
+let calibrate_svc model ~x ~y =
+  let decision_values = Array.map (Svc.decision model) x in
+  fit ~decision_values ~labels:y
+
+let classify_at t ~threshold f = if probability t f >= threshold then 1 else -1

@@ -1,0 +1,32 @@
+(** Platt scaling: maps raw SVM decision values to calibrated
+    pass probabilities through a fitted sigmoid
+    [P(y = +1 | f) = 1 / (1 + exp(A·f + B))].
+
+    The fit is the regularised Newton method of Lin, Lin & Weng (2007),
+    as implemented in libsvm. A probability output lets a test flow set
+    the guard band by confidence (e.g. route parts with
+    0.05 < P < 0.95 to full test) instead of by range perturbation. *)
+
+type t
+
+val fit : decision_values:float array -> labels:int array -> t
+(** [labels] are ±1. Raises [Invalid_argument] on length mismatch or
+    empty input; single-class inputs produce a (valid) saturated
+    sigmoid. *)
+
+val probability : t -> float -> float
+(** P(y = +1) for a raw decision value; always in (0, 1). *)
+
+val parameters : t -> float * float
+(** The fitted (A, B). A is negative when larger decision values mean
+    higher pass probability (the normal case). *)
+
+val calibrate_svc :
+  Svc.model -> x:float array array -> y:int array -> t
+(** Fits on the model's decision values over a calibration set (use a
+    held-out split, not the training data, when possible). *)
+
+val classify_at : t -> threshold:float -> float -> int
+(** +1 iff {!probability} exceeds [threshold] — the building block for
+    probability-threshold guard bands (Good when P ≥ high, Bad when
+    P ≤ low, guard between). *)

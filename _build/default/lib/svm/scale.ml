@@ -1,0 +1,57 @@
+type t = {
+  offset : float array; (* x' = (x - offset) * factor + base *)
+  factor : float array;
+  base : float array;
+}
+
+let feature_column x j = Array.map (fun row -> row.(j)) x
+
+let check_input name x =
+  if Array.length x = 0 then invalid_arg ("Scale." ^ name ^ ": empty data");
+  Array.length x.(0)
+
+let fit_minmax ?(lo = 0.0) ?(hi = 1.0) x =
+  let dim = check_input "fit_minmax" x in
+  let offset = Array.make dim 0.0 in
+  let factor = Array.make dim 0.0 in
+  let base = Array.make dim 0.0 in
+  for j = 0 to dim - 1 do
+    let col = feature_column x j in
+    let mn = Stc_numerics.Stats.min col and mx = Stc_numerics.Stats.max col in
+    if mx > mn then begin
+      offset.(j) <- mn;
+      factor.(j) <- (hi -. lo) /. (mx -. mn);
+      base.(j) <- lo
+    end
+    else begin
+      offset.(j) <- mn;
+      factor.(j) <- 0.0;
+      base.(j) <- (lo +. hi) /. 2.0
+    end
+  done;
+  { offset; factor; base }
+
+let fit_standard x =
+  let dim = check_input "fit_standard" x in
+  let offset = Array.make dim 0.0 in
+  let factor = Array.make dim 0.0 in
+  let base = Array.make dim 0.0 in
+  for j = 0 to dim - 1 do
+    let col = feature_column x j in
+    let m = Stc_numerics.Stats.mean col in
+    let sd = Stc_numerics.Stats.stddev col in
+    offset.(j) <- m;
+    factor.(j) <- (if sd > 0.0 then 1.0 /. sd else 0.0);
+    base.(j) <- 0.0
+  done;
+  { offset; factor; base }
+
+let dim t = Array.length t.offset
+
+let apply t row =
+  if Array.length row <> dim t then invalid_arg "Scale.apply: dimension mismatch";
+  Array.mapi
+    (fun j v -> ((v -. t.offset.(j)) *. t.factor.(j)) +. t.base.(j))
+    row
+
+let apply_all t x = Array.map (apply t) x

@@ -1,0 +1,17 @@
+(** Per-feature affine scaling fitted on training data and replayed on
+    test data (never fit scaling on test data). *)
+
+type t
+
+val fit_minmax : ?lo:float -> ?hi:float -> float array array -> t
+(** Maps each feature's observed [min, max] to [lo, hi] (default
+    [0, 1]). Constant features map to the midpoint. *)
+
+val fit_standard : float array array -> t
+(** Zero mean, unit variance per feature (constant features are left
+    centred). *)
+
+val apply : t -> float array -> float array
+val apply_all : t -> float array array -> float array array
+
+val dim : t -> int

@@ -1,0 +1,220 @@
+(* Port of the libsvm Solver (Fan, Chen & Lin, JMLR 2005): first-order
+   selection of i (maximal violating), second-order selection of j. *)
+
+type problem = {
+  size : int;
+  q_row : int -> float array;
+  q_diag : float array;
+  p : float array;
+  y : float array;
+  c : float array;
+}
+
+type solution = {
+  alpha : float array;
+  rho : float;
+  objective : float;
+  iterations : int;
+}
+
+let tau = 1e-12
+
+let solve ?(eps = 1e-3) ?max_iter ?alpha0 prob =
+  let n = prob.size in
+  assert (Array.length prob.p = n);
+  assert (Array.length prob.y = n);
+  assert (Array.length prob.c = n);
+  Array.iter (fun yi -> assert (yi = 1.0 || yi = -1.0)) prob.y;
+  let max_iter =
+    match max_iter with Some m -> m | None -> Stdlib.max 10_000 (10 * n)
+  in
+  let alpha =
+    match alpha0 with
+    | Some a ->
+      assert (Array.length a = n);
+      Array.copy a
+    | None -> Array.make n 0.0
+  in
+  (* gradient G_i = (Qα)_i + p_i *)
+  let grad = Array.copy prob.p in
+  for i = 0 to n - 1 do
+    if alpha.(i) <> 0.0 then begin
+      let qi = prob.q_row i in
+      for t = 0 to n - 1 do
+        grad.(t) <- grad.(t) +. (alpha.(i) *. qi.(t))
+      done
+    end
+  done;
+  let is_upper_bound i = alpha.(i) >= prob.c.(i) in
+  let is_lower_bound i = alpha.(i) <= 0.0 in
+  (* working-set selection; returns None when the KKT conditions hold *)
+  let select_working_set () =
+    let gmax = ref Float.neg_infinity and gmax_idx = ref (-1) in
+    let gmax2 = ref Float.neg_infinity in
+    for t = 0 to n - 1 do
+      if prob.y.(t) = 1.0 then begin
+        if not (is_upper_bound t) && -.grad.(t) >= !gmax then begin
+          gmax := -.grad.(t);
+          gmax_idx := t
+        end
+      end
+      else if not (is_lower_bound t) && grad.(t) >= !gmax then begin
+        gmax := grad.(t);
+        gmax_idx := t
+      end
+    done;
+    let i = !gmax_idx in
+    if i < 0 then None
+    else begin
+      let qi = prob.q_row i in
+      let obj_min = ref Float.infinity and gmin_idx = ref (-1) in
+      for t = 0 to n - 1 do
+        if prob.y.(t) = 1.0 then begin
+          if not (is_lower_bound t) then begin
+            let grad_diff = !gmax +. grad.(t) in
+            if grad.(t) >= !gmax2 then gmax2 := grad.(t);
+            if grad_diff > 0.0 then begin
+              let quad =
+                prob.q_diag.(i) +. prob.q_diag.(t)
+                -. (2.0 *. prob.y.(i) *. qi.(t))
+              in
+              let quad = if quad > 0.0 then quad else tau in
+              let obj = -.(grad_diff *. grad_diff) /. quad in
+              if obj <= !obj_min then begin
+                obj_min := obj;
+                gmin_idx := t
+              end
+            end
+          end
+        end
+        else if not (is_upper_bound t) then begin
+          let grad_diff = !gmax -. grad.(t) in
+          if -.grad.(t) >= !gmax2 then gmax2 := -.grad.(t);
+          if grad_diff > 0.0 then begin
+            let quad =
+              prob.q_diag.(i) +. prob.q_diag.(t)
+              +. (2.0 *. prob.y.(i) *. qi.(t))
+            in
+            let quad = if quad > 0.0 then quad else tau in
+            let obj = -.(grad_diff *. grad_diff) /. quad in
+            if obj <= !obj_min then begin
+              obj_min := obj;
+              gmin_idx := t
+            end
+          end
+        end
+      done;
+      if !gmax +. !gmax2 < eps || !gmin_idx < 0 then None
+      else Some (i, !gmin_idx)
+    end
+  in
+  let iterations = ref 0 in
+  let rec loop () =
+    if !iterations >= max_iter then ()
+    else
+      match select_working_set () with
+      | None -> ()
+      | Some (i, j) ->
+        incr iterations;
+        let qi = prob.q_row i and qj = prob.q_row j in
+        let ci = prob.c.(i) and cj = prob.c.(j) in
+        let old_ai = alpha.(i) and old_aj = alpha.(j) in
+        if prob.y.(i) <> prob.y.(j) then begin
+          let quad =
+            prob.q_diag.(i) +. prob.q_diag.(j) +. (2.0 *. qi.(j))
+          in
+          let quad = if quad > 0.0 then quad else tau in
+          let delta = (-.grad.(i) -. grad.(j)) /. quad in
+          let diff = alpha.(i) -. alpha.(j) in
+          alpha.(i) <- alpha.(i) +. delta;
+          alpha.(j) <- alpha.(j) +. delta;
+          if diff > 0.0 then begin
+            if alpha.(j) < 0.0 then begin
+              alpha.(j) <- 0.0;
+              alpha.(i) <- diff
+            end
+          end
+          else if alpha.(i) < 0.0 then begin
+            alpha.(i) <- 0.0;
+            alpha.(j) <- -.diff
+          end;
+          if diff > ci -. cj then begin
+            if alpha.(i) > ci then begin
+              alpha.(i) <- ci;
+              alpha.(j) <- ci -. diff
+            end
+          end
+          else if alpha.(j) > cj then begin
+            alpha.(j) <- cj;
+            alpha.(i) <- cj +. diff
+          end
+        end
+        else begin
+          let quad =
+            prob.q_diag.(i) +. prob.q_diag.(j) -. (2.0 *. qi.(j))
+          in
+          let quad = if quad > 0.0 then quad else tau in
+          let delta = (grad.(i) -. grad.(j)) /. quad in
+          let sum = alpha.(i) +. alpha.(j) in
+          alpha.(i) <- alpha.(i) -. delta;
+          alpha.(j) <- alpha.(j) +. delta;
+          if sum > ci then begin
+            if alpha.(i) > ci then begin
+              alpha.(i) <- ci;
+              alpha.(j) <- sum -. ci
+            end
+          end
+          else if alpha.(j) < 0.0 then begin
+            alpha.(j) <- 0.0;
+            alpha.(i) <- sum
+          end;
+          if sum > cj then begin
+            if alpha.(j) > cj then begin
+              alpha.(j) <- cj;
+              alpha.(i) <- sum -. cj
+            end
+          end
+          else if alpha.(i) < 0.0 then begin
+            alpha.(i) <- 0.0;
+            alpha.(j) <- sum
+          end
+        end;
+        let dai = alpha.(i) -. old_ai and daj = alpha.(j) -. old_aj in
+        if dai <> 0.0 || daj <> 0.0 then
+          for t = 0 to n - 1 do
+            grad.(t) <- grad.(t) +. (qi.(t) *. dai) +. (qj.(t) *. daj)
+          done;
+        loop ()
+  in
+  loop ();
+  (* rho as in libsvm: average gradient over free variables, or the
+     midpoint of the feasibility interval when none are free *)
+  let ub = ref Float.infinity and lb = ref Float.neg_infinity in
+  let sum_free = ref 0.0 and n_free = ref 0 in
+  for t = 0 to n - 1 do
+    let yg = prob.y.(t) *. grad.(t) in
+    if is_upper_bound t then begin
+      if prob.y.(t) = -1.0 then ub := Float.min !ub yg
+      else lb := Float.max !lb yg
+    end
+    else if is_lower_bound t then begin
+      if prob.y.(t) = 1.0 then ub := Float.min !ub yg
+      else lb := Float.max !lb yg
+    end
+    else begin
+      incr n_free;
+      sum_free := !sum_free +. yg
+    end
+  done;
+  let rho =
+    if !n_free > 0 then !sum_free /. float_of_int !n_free
+    else (!ub +. !lb) /. 2.0
+  in
+  let objective =
+    let acc = ref 0.0 in
+    for t = 0 to n - 1 do
+      acc := !acc +. (alpha.(t) *. (grad.(t) +. prob.p.(t)))
+    done;
+    !acc /. 2.0
+  in
+  { alpha; rho; objective; iterations = !iterations }

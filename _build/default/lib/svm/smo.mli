@@ -1,0 +1,32 @@
+(** Generic SMO solver for the SVM dual problem (libsvm formulation):
+
+    {v min_α  1/2 αᵀQα + pᵀα
+       s.t.   yᵀα = Δ,  0 ≤ α_i ≤ C_i v}
+
+    with second-order working-set selection (Fan, Chen & Lin 2005).
+    Both C-SVC and ε-SVR reduce to this problem; see {!Svc} and
+    {!Svr}. *)
+
+type problem = {
+  size : int;
+  q_row : int -> float array;
+      (** [q_row i] returns row i of Q (length [size]); called often,
+          so wrap it in a cache for expensive kernels *)
+  q_diag : float array;  (** diagonal of Q *)
+  p : float array;
+  y : float array;       (** entries must be ±1 *)
+  c : float array;       (** per-variable upper bound *)
+}
+
+type solution = {
+  alpha : float array;
+  rho : float;          (** decision offset: f(x) = Σᵢ yᵢαᵢK(xᵢ,x) − rho *)
+  objective : float;
+  iterations : int;
+}
+
+val solve : ?eps:float -> ?max_iter:int -> ?alpha0:float array -> problem -> solution
+(** [eps] is the KKT violation tolerance (default 1e-3, libsvm's);
+    [max_iter] caps the outer loop (default 10·size, at least 10 000);
+    [alpha0] must be feasible if supplied (default all-zeros, which is
+    feasible when Δ = 0). *)

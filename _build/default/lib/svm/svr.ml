@@ -1,0 +1,88 @@
+type model = {
+  kernel : Kernel.t;
+  sv : float array array;
+  coef : float array; (* alpha_i - alpha*_i *)
+  b : float;
+}
+
+(* libsvm's EPSILON_SVR formulation: 2l variables [α; α*] with extended
+   labels [+1; −1], p = [ε − z; ε + z], Q_st = y_s y_t K(s mod l, t mod l). *)
+let train ?(c = 1.0) ?(epsilon = 0.1) ?kernel ?(eps = 1e-3) ~x ~y () =
+  let l = Array.length x in
+  if l = 0 then invalid_arg "Svr.train: empty training set";
+  if Array.length y <> l then invalid_arg "Svr.train: x/y length mismatch";
+  if c <= 0.0 then invalid_arg "Svr.train: c must be positive";
+  if epsilon < 0.0 then invalid_arg "Svr.train: epsilon must be non-negative";
+  let dim = Array.length x.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> dim then invalid_arg "Svr.train: ragged inputs")
+    x;
+  let kernel =
+    match kernel with
+    | Some k -> k
+    | None -> Kernel.rbf (Kernel.median_gamma x)
+  in
+  let n = 2 * l in
+  let ys = Array.init n (fun s -> if s < l then 1.0 else -1.0) in
+  let base s = if s < l then s else s - l in
+  let raw_row s =
+    let bs = base s in
+    let krow = Array.init l (fun t -> Kernel.eval kernel x.(bs) x.(t)) in
+    Array.init n (fun t -> ys.(s) *. ys.(t) *. krow.(base t))
+  in
+  let cache = Row_cache.create ~size:n ~row_bytes:(8 * n) raw_row in
+  let problem =
+    {
+      Smo.size = n;
+      q_row = (fun s -> Row_cache.get cache s);
+      q_diag = Array.init n (fun s -> Kernel.eval kernel x.(base s) x.(base s));
+      p =
+        Array.init n (fun s ->
+            if s < l then epsilon -. y.(s) else epsilon +. y.(s - l));
+      y = ys;
+      c = Array.make n c;
+    }
+  in
+  let sol = Smo.solve ~eps problem in
+  let sv = ref [] and coef = ref [] in
+  for i = l - 1 downto 0 do
+    let d = sol.Smo.alpha.(i) -. sol.Smo.alpha.(i + l) in
+    if d <> 0.0 then begin
+      sv := x.(i) :: !sv;
+      coef := d :: !coef
+    end
+  done;
+  {
+    kernel;
+    sv = Array.of_list !sv;
+    coef = Array.of_list !coef;
+    b = -.sol.Smo.rho;
+  }
+
+let predict m input =
+  let acc = ref m.b in
+  Array.iteri
+    (fun i sv -> acc := !acc +. (m.coef.(i) *. Kernel.eval m.kernel sv input))
+    m.sv;
+  !acc
+
+let classify m input = if predict m input >= 0.0 then 1 else -1
+
+let n_support m = Array.length m.sv
+let bias m = m.b
+let kernel m = m.kernel
+
+type raw = {
+  raw_kernel : Kernel.t;
+  raw_sv : float array array;
+  raw_coef : float array;
+  raw_b : float;
+}
+
+let to_raw m = { raw_kernel = m.kernel; raw_sv = m.sv; raw_coef = m.coef; raw_b = m.b }
+
+let of_raw r =
+  if Array.length r.raw_sv <> Array.length r.raw_coef then
+    invalid_arg "of_raw: sv/coef length mismatch";
+  { kernel = r.raw_kernel; sv = r.raw_sv; coef = r.raw_coef; b = r.raw_b }

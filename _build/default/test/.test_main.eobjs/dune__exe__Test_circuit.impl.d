@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Complex Float List Stc_circuit Stc_numerics

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float List QCheck QCheck_alcotest Stc Stc_numerics String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Float List Stc Stc_numerics Stc_process

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Lazy Printf Stc Stc_numerics

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array List Stc Stc_numerics Stc_svm String

@@ -1,0 +1,1 @@
+test/test_mems.ml: Alcotest Array Complex Float Stc_mems Stc_numerics

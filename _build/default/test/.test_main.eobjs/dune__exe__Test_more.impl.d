@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Complex Float List Stc Stc_circuit Stc_numerics Stc_process

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Complex Float Fun Gen List QCheck QCheck_alcotest Stc_numerics

@@ -1,0 +1,1 @@
+test/test_process.ml: Alcotest Array QCheck QCheck_alcotest Stc_numerics Stc_process

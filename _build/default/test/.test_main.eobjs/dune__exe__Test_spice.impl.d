@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest List Option Printf QCheck QCheck_alcotest Stc_circuit String

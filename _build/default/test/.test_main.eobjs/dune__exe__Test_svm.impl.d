@@ -1,0 +1,1 @@
+test/test_svm.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Stc_numerics Stc_svm

@@ -1,0 +1,433 @@
+(* Tests for the MNA circuit simulator: analytic circuits with known
+   answers, plus the op-amp benches. *)
+
+module Netlist = Stc_circuit.Netlist
+module Wave = Stc_circuit.Wave
+module Mosfet = Stc_circuit.Mosfet
+module Mna = Stc_circuit.Mna
+module Dc = Stc_circuit.Dc
+module Ac = Stc_circuit.Ac
+module Tran = Stc_circuit.Tran
+module Waveform = Stc_circuit.Waveform
+module Opamp = Stc_circuit.Opamp
+module Measure_opamp = Stc_circuit.Measure_opamp
+
+let check_close tol = Alcotest.(check (float tol))
+
+(* ------------------------------ Wave ------------------------------ *)
+
+let wave_tests =
+  [
+    Alcotest.test_case "dc" `Quick (fun () ->
+        check_close 0.0 "value" 3.0 (Wave.value (Wave.Dc 3.0) 17.0));
+    Alcotest.test_case "pulse profile" `Quick (fun () ->
+        let p =
+          Wave.Pulse
+            { v1 = 0.0; v2 = 1.0; delay = 1.0; rise = 1.0; fall = 1.0;
+              width = 2.0; period = 0.0 }
+        in
+        check_close 1e-12 "before" 0.0 (Wave.value p 0.5);
+        check_close 1e-12 "mid-rise" 0.5 (Wave.value p 1.5);
+        check_close 1e-12 "high" 1.0 (Wave.value p 3.0);
+        check_close 1e-12 "mid-fall" 0.5 (Wave.value p 4.5);
+        check_close 1e-12 "after" 0.0 (Wave.value p 6.0));
+    Alcotest.test_case "pulse periodic repeats" `Quick (fun () ->
+        let p =
+          Wave.Pulse
+            { v1 = 0.0; v2 = 1.0; delay = 0.0; rise = 0.1; fall = 0.1;
+              width = 0.3; period = 1.0 }
+        in
+        check_close 1e-12 "second period high" 1.0 (Wave.value p 1.2));
+    Alcotest.test_case "sine" `Quick (fun () ->
+        let s = Wave.Sine { offset = 1.0; amplitude = 2.0; freq = 1.0; phase = 0.0 } in
+        check_close 1e-9 "quarter" 3.0 (Wave.value s 0.25));
+    Alcotest.test_case "pwl" `Quick (fun () ->
+        let w = Wave.Pwl [| (0.0, 0.0); (1.0, 5.0) |] in
+        check_close 1e-12 "interp" 2.5 (Wave.value w 0.5));
+    Alcotest.test_case "breakpoints sorted within range" `Quick (fun () ->
+        let p =
+          Wave.Pulse
+            { v1 = 0.0; v2 = 1.0; delay = 1.0; rise = 0.5; fall = 0.5;
+              width = 1.0; period = 0.0 }
+        in
+        let bps = Wave.breakpoints p ~tmax:10.0 in
+        Alcotest.(check (list (float 1e-12))) "edges" [ 1.0; 1.5; 2.5; 3.0 ] bps);
+  ]
+
+(* ----------------------------- Mosfet ----------------------------- *)
+
+let mosfet_tests =
+  [
+    Alcotest.test_case "cutoff leaks only" `Quick (fun () ->
+        let op = Mosfet.evaluate Mosfet.default_nmos ~w:10e-6 ~l:1e-6 ~vgs:0.0 ~vds:1.0 in
+        Alcotest.(check bool) "cutoff" true (op.Mosfet.region = `Cutoff);
+        Alcotest.(check bool) "tiny current" true (Float.abs op.Mosfet.ids < 1e-10));
+    Alcotest.test_case "saturation square law" `Quick (fun () ->
+        let p = { Mosfet.default_nmos with lambda = 0.0 } in
+        let op = Mosfet.evaluate p ~w:10e-6 ~l:1e-6 ~vgs:1.7 ~vds:2.0 in
+        Alcotest.(check bool) "sat" true (op.Mosfet.region = `Saturation);
+        (* 0.5 * 110u * 10 * 1.0^2 *)
+        check_close 1e-9 "ids" 550e-6 op.Mosfet.ids;
+        check_close 1e-9 "gm = beta*vov" 1.1e-3 op.Mosfet.gm);
+    Alcotest.test_case "triode conductance" `Quick (fun () ->
+        let p = { Mosfet.default_nmos with lambda = 0.0 } in
+        let op = Mosfet.evaluate p ~w:10e-6 ~l:1e-6 ~vgs:1.7 ~vds:0.1 in
+        Alcotest.(check bool) "triode" true (op.Mosfet.region = `Triode));
+    Alcotest.test_case "pmos mirrors nmos" `Quick (fun () ->
+        let opn = Mosfet.evaluate Mosfet.default_nmos ~w:10e-6 ~l:1e-6 ~vgs:1.5 ~vds:1.5 in
+        let p = { Mosfet.default_nmos with kind = Mosfet.Pmos } in
+        let opp = Mosfet.evaluate p ~w:10e-6 ~l:1e-6 ~vgs:(-1.5) ~vds:(-1.5) in
+        check_close 1e-12 "current mirrored" (-.opn.Mosfet.ids) opp.Mosfet.ids;
+        check_close 1e-12 "gm preserved" opn.Mosfet.gm opp.Mosfet.gm);
+    Alcotest.test_case "continuity at triode/sat edge" `Quick (fun () ->
+        let p = Mosfet.default_nmos in
+        let vov = 0.5 in
+        let below = Mosfet.evaluate p ~w:10e-6 ~l:1e-6 ~vgs:(p.Mosfet.vt0 +. vov)
+                      ~vds:(vov -. 1e-9) in
+        let above = Mosfet.evaluate p ~w:10e-6 ~l:1e-6 ~vgs:(p.Mosfet.vt0 +. vov)
+                      ~vds:(vov +. 1e-9) in
+        check_close 1e-9 "ids continuous" below.Mosfet.ids above.Mosfet.ids);
+    Alcotest.test_case "capacitances positive and scale with W" `Quick (fun () ->
+        let p = Mosfet.default_nmos in
+        let c1 = Mosfet.cgs p ~w:10e-6 ~l:1e-6 in
+        let c2 = Mosfet.cgs p ~w:20e-6 ~l:1e-6 in
+        Alcotest.(check bool) "positive" true (c1 > 0.0);
+        Alcotest.(check bool) "monotone in W" true (c2 > c1));
+  ]
+
+(* --------------------------- DC analysis -------------------------- *)
+
+let resistor_divider () =
+  Netlist.of_elements
+    [
+      Netlist.vdc "v1" "in" "0" 10.0;
+      Netlist.r "r1" "in" "mid" 1000.0;
+      Netlist.r "r2" "mid" "0" 1000.0;
+    ]
+
+let dc_tests =
+  [
+    Alcotest.test_case "resistor divider" `Quick (fun () ->
+        let sys = Mna.build (resistor_divider ()) in
+        let x = Dc.solve sys in
+        (* tolerances account for the intentional 1e-12 S gmin leak *)
+        check_close 1e-6 "mid" 5.0 (Mna.node_voltage sys x "mid");
+        (* branch current flows in -> 0 through the source: -(10/2k) *)
+        check_close 1e-9 "source current" (-5e-3) (Mna.branch_current sys x "v1"));
+    Alcotest.test_case "current source into resistor" `Quick (fun () ->
+        let sys =
+          Mna.build
+            (Netlist.of_elements
+               [ Netlist.idc "i1" "0" "a" 1e-3; Netlist.r "r1" "a" "0" 2000.0 ])
+        in
+        let x = Dc.solve sys in
+        check_close 1e-6 "v = IR" 2.0 (Mna.node_voltage sys x "a"));
+    Alcotest.test_case "vcvs gain" `Quick (fun () ->
+        let sys =
+          Mna.build
+            (Netlist.of_elements
+               [
+                 Netlist.vdc "vin" "a" "0" 1.0;
+                 Netlist.Vcvs { name = "e1"; p = "b"; n = "0"; cp = "a"; cn = "0"; gain = 5.0 };
+                 Netlist.r "rl" "b" "0" 1000.0;
+               ])
+        in
+        let x = Dc.solve sys in
+        check_close 1e-9 "amplified" 5.0 (Mna.node_voltage sys x "b"));
+    Alcotest.test_case "vccs transconductance" `Quick (fun () ->
+        let sys =
+          Mna.build
+            (Netlist.of_elements
+               [
+                 Netlist.vdc "vin" "a" "0" 2.0;
+                 Netlist.Vccs { name = "g1"; p = "0"; n = "b"; cp = "a"; cn = "0"; gm = 1e-3 };
+                 Netlist.r "rl" "b" "0" 1000.0;
+               ])
+        in
+        let x = Dc.solve sys in
+        (* current 2mA pushed into b through 1k: v = +2 V *)
+        check_close 1e-6 "v" 2.0 (Mna.node_voltage sys x "b"));
+    Alcotest.test_case "inductor is a DC short" `Quick (fun () ->
+        let sys =
+          Mna.build
+            (Netlist.of_elements
+               [
+                 Netlist.vdc "v1" "a" "0" 3.0;
+                 Netlist.l "l1" "a" "b" 1e-3;
+                 Netlist.r "r1" "b" "0" 1000.0;
+               ])
+        in
+        let x = Dc.solve sys in
+        check_close 1e-9 "no drop" 3.0 (Mna.node_voltage sys x "b");
+        check_close 1e-9 "current" 3e-3 (Mna.branch_current sys x "l1"));
+    Alcotest.test_case "diode-connected mosfet bias" `Quick (fun () ->
+        (* vdd -> R -> diode-connected NMOS: vgs solves the square law *)
+        let sys =
+          Mna.build
+            (Netlist.of_elements
+               [
+                 Netlist.vdc "vdd" "vdd" "0" 5.0;
+                 Netlist.r "r1" "vdd" "d" 100e3;
+                 Netlist.nmos "m1" ~d:"d" ~g:"d" ~s:"0" ~w:10e-6 ~l:1e-6 ();
+               ])
+        in
+        let x = Dc.solve sys in
+        let vgs = Mna.node_voltage sys x "d" in
+        Alcotest.(check bool) "above threshold" true (vgs > 0.7 && vgs < 1.5);
+        (* KCL: resistor current equals device current per square law *)
+        let ir = (5.0 -. vgs) /. 100e3 in
+        let op =
+          Mosfet.evaluate Mosfet.default_nmos ~w:10e-6 ~l:1e-6 ~vgs ~vds:vgs
+        in
+        check_close 1e-8 "currents match" ir op.Mosfet.ids);
+    Alcotest.test_case "netlist validation" `Quick (fun () ->
+        let bad =
+          Netlist.of_elements
+            [ Netlist.r "r1" "a" "0" 1.0; Netlist.r "r1" "a" "0" 2.0 ]
+        in
+        (match Netlist.validate bad with
+         | Error _ -> ()
+         | Ok () -> Alcotest.fail "expected duplicate-name error");
+        let negative = Netlist.of_elements [ Netlist.r "r1" "a" "0" (-5.0) ] in
+        (match Netlist.validate negative with
+         | Error _ -> ()
+         | Ok () -> Alcotest.fail "expected non-positive value error"));
+  ]
+
+(* --------------------------- AC analysis -------------------------- *)
+
+let ac_tests =
+  [
+    Alcotest.test_case "rc low-pass -3dB at 1/(2 pi RC)" `Quick (fun () ->
+        let r = 1000.0 and c = 1e-6 in
+        let sys =
+          Mna.build
+            (Netlist.of_elements
+               [
+                 Netlist.vac "vin" "in" "0" ~dc:0.0 ~mag:1.0;
+                 Netlist.r "r1" "in" "out" r;
+                 Netlist.c "c1" "out" "0" c;
+               ])
+        in
+        let op = Dc.solve sys in
+        let fc = 1.0 /. (2.0 *. Float.pi *. r *. c) in
+        let x = Ac.solve_one sys ~op ~freq:fc in
+        let out = x.(Mna.node_index sys "out") in
+        check_close 1e-6 "magnitude" (1.0 /. sqrt 2.0) (Complex.norm out);
+        check_close 1e-4 "phase -45deg" (-45.0) (Ac.phase_deg out));
+    Alcotest.test_case "rl high-pass via inductor branch" `Quick (fun () ->
+        let r = 100.0 and l = 1e-3 in
+        let sys =
+          Mna.build
+            (Netlist.of_elements
+               [
+                 Netlist.vac "vin" "in" "0" ~dc:0.0 ~mag:1.0;
+                 Netlist.r "r1" "in" "out" r;
+                 Netlist.l "l1" "out" "0" l;
+               ])
+        in
+        let op = Dc.solve sys in
+        let fc = r /. (2.0 *. Float.pi *. l) in
+        let x = Ac.solve_one sys ~op ~freq:fc in
+        let out = x.(Mna.node_index sys "out") in
+        check_close 1e-6 "corner magnitude" (1.0 /. sqrt 2.0) (Complex.norm out));
+    Alcotest.test_case "sweep is monotone for low-pass" `Quick (fun () ->
+        let sys =
+          Mna.build
+            (Netlist.of_elements
+               [
+                 Netlist.vac "vin" "in" "0" ~dc:0.0 ~mag:1.0;
+                 Netlist.r "r1" "in" "out" 1000.0;
+                 Netlist.c "c1" "out" "0" 1e-6;
+               ])
+        in
+        let op = Dc.solve sys in
+        let freqs = Stc_numerics.Interp.logspace 1.0 1e6 25 in
+        let pts = Ac.sweep sys ~op ~freqs in
+        let mags =
+          Array.map (fun (_, z) -> Complex.norm z) (Ac.node_response sys pts "out")
+        in
+        let ok = ref true in
+        for i = 0 to Array.length mags - 2 do
+          if mags.(i + 1) > mags.(i) +. 1e-12 then ok := false
+        done;
+        Alcotest.(check bool) "monotone decreasing" true !ok);
+  ]
+
+(* ------------------------- Transient analysis --------------------- *)
+
+let tran_tests =
+  [
+    Alcotest.test_case "rc step response matches analytic" `Quick (fun () ->
+        let r = 1000.0 and c = 1e-6 in
+        let tau = r *. c in
+        let step =
+          Wave.Pulse
+            { v1 = 0.0; v2 = 1.0; delay = 0.0; rise = 1e-9; fall = 1e-9;
+              width = 1.0; period = 0.0 }
+        in
+        let sys =
+          Mna.build
+            (Netlist.of_elements
+               [
+                 Netlist.vwave "vin" "in" "0" step;
+                 Netlist.r "r1" "in" "out" r;
+                 Netlist.c "c1" "out" "0" c;
+               ])
+        in
+        let result = Tran.run sys ~tstop:(5.0 *. tau) ~dt:(tau /. 100.0) in
+        let w = Tran.node_waveform sys result "out" in
+        let v_at_tau = Waveform.value_at w tau in
+        check_close 2e-3 "1 - 1/e" (1.0 -. exp (-1.0)) v_at_tau;
+        check_close 2e-3 "5 tau" (1.0 -. exp (-5.0)) (Waveform.final w));
+    Alcotest.test_case "rl current rise" `Quick (fun () ->
+        let r = 10.0 and l = 1e-3 in
+        let tau = l /. r in
+        let step =
+          Wave.Pulse
+            { v1 = 0.0; v2 = 1.0; delay = 0.0; rise = 1e-9; fall = 1e-9;
+              width = 1.0; period = 0.0 }
+        in
+        let sys =
+          Mna.build
+            (Netlist.of_elements
+               [
+                 Netlist.vwave "vin" "in" "0" step;
+                 Netlist.r "r1" "in" "a" r;
+                 Netlist.l "l1" "a" "0" l;
+               ])
+        in
+        let result = Tran.run sys ~tstop:(5.0 *. tau) ~dt:(tau /. 200.0) in
+        let i = Tran.branch_waveform sys result "l1" in
+        check_close 2e-3 "asymptote V/R" 0.1 (Waveform.final i));
+    Alcotest.test_case "lc trapezoidal preserves oscillation" `Quick (fun () ->
+        (* series RLC with tiny R: energy should persist over one period *)
+        let l = 1e-3 and c = 1e-6 in
+        let f0 = 1.0 /. (2.0 *. Float.pi *. sqrt (l *. c)) in
+        let step =
+          Wave.Pulse
+            { v1 = 0.0; v2 = 1.0; delay = 0.0; rise = 1e-9; fall = 1e-9;
+              width = 1.0; period = 0.0 }
+        in
+        let sys =
+          Mna.build
+            (Netlist.of_elements
+               [
+                 Netlist.vwave "vin" "in" "0" step;
+                 Netlist.r "r1" "in" "a" 1.0;
+                 Netlist.l "l1" "a" "b" l;
+                 Netlist.c "c1" "b" "0" c;
+               ])
+        in
+        let result = Tran.run sys ~tstop:(3.0 /. f0) ~dt:(1.0 /. f0 /. 400.0) in
+        let w = Tran.node_waveform sys result "b" in
+        let _, peak = Waveform.peak w in
+        (* underdamped series RLC doubles the step at the first peak *)
+        Alcotest.(check bool) "rings above 1.5" true (peak > 1.5));
+  ]
+
+(* ------------------------- Waveform measures ---------------------- *)
+
+let waveform_tests =
+  [
+    Alcotest.test_case "rise time of a ramp" `Quick (fun () ->
+        let w = Array.init 101 (fun i ->
+            let t = float_of_int i /. 100.0 in
+            (t, Float.min 1.0 (t *. 2.0)))
+        in
+        (match Waveform.rise_time w with
+         | Some rt -> check_close 1e-6 "10-90 over slope 2" 0.4 rt
+         | None -> Alcotest.fail "no rise time"));
+    Alcotest.test_case "overshoot of damped sinusoid" `Quick (fun () ->
+        let w = Array.init 2001 (fun i ->
+            let t = float_of_int i /. 100.0 in
+            (t, 1.0 -. (exp (-.t) *. cos (5.0 *. t))))
+        in
+        let os = Waveform.overshoot w in
+        Alcotest.(check bool) "positive overshoot" true (os > 0.1 && os < 0.8));
+    Alcotest.test_case "settling time" `Quick (fun () ->
+        let w = Array.init 2001 (fun i ->
+            let t = float_of_int i /. 200.0 in
+            (t, 1.0 -. exp (-.t)))
+        in
+        (match Waveform.settling_time ~band:0.01 w with
+         | Some ts -> check_close 0.05 "ln 100" (log 100.0) ts
+         | None -> Alcotest.fail "no settling"));
+    Alcotest.test_case "slew rate of a ramp" `Quick (fun () ->
+        let w = Array.init 101 (fun i ->
+            let t = float_of_int i /. 100.0 in
+            (t, Float.min 1.0 (t *. 2.0)))
+        in
+        (match Waveform.slew_rate w with
+         | Some s -> check_close 1e-6 "slope" 2.0 s
+         | None -> Alcotest.fail "no slew"));
+    Alcotest.test_case "zero-step waveform" `Quick (fun () ->
+        let w = [| (0.0, 1.0); (1.0, 1.0) |] in
+        Alcotest.(check bool) "no rise" true (Waveform.rise_time w = None);
+        check_close 0.0 "overshoot 0" 0.0 (Waveform.overshoot w));
+  ]
+
+(* ------------------------------ Opamp ----------------------------- *)
+
+let opamp_tests =
+  [
+    Alcotest.test_case "nominal specs are sane" `Slow (fun () ->
+        let v = Measure_opamp.measure Opamp.nominal in
+        Alcotest.(check bool) "gain" true
+          (v.Measure_opamp.gain > 5000.0 && v.Measure_opamp.gain < 100000.0);
+        Alcotest.(check bool) "ugf ~ 2 MHz" true
+          (v.Measure_opamp.unity_gain_freq > 1.0 && v.Measure_opamp.unity_gain_freq < 5.0);
+        Alcotest.(check bool) "bw < ugf" true
+          (v.Measure_opamp.bandwidth_3db < v.Measure_opamp.unity_gain_freq *. 1e6);
+        Alcotest.(check bool) "slew positive" true (v.Measure_opamp.slew_rate > 0.0);
+        Alcotest.(check bool) "iq ~ 100uA" true
+          (v.Measure_opamp.quiescent_current > 50.0
+           && v.Measure_opamp.quiescent_current < 250.0);
+        Alcotest.(check bool) "cm gain < open-loop gain" true
+          (v.Measure_opamp.common_mode_gain < v.Measure_opamp.gain));
+    Alcotest.test_case "gain-bandwidth consistency" `Slow (fun () ->
+        (* single-pole model: gain * f3db ~ ugf *)
+        let v = Measure_opamp.measure Opamp.nominal in
+        let gbw = v.Measure_opamp.gain *. v.Measure_opamp.bandwidth_3db in
+        let ugf_hz = v.Measure_opamp.unity_gain_freq *. 1e6 in
+        Alcotest.(check bool) "within 30%" true
+          (gbw > 0.7 *. ugf_hz && gbw < 1.3 *. ugf_hz));
+    Alcotest.test_case "slew tracks tail current over cc" `Slow (fun () ->
+        let p = Opamp.nominal in
+        let v1 = Measure_opamp.measure p in
+        let p2 = { p with Stc_circuit.Opamp.cc = p.Stc_circuit.Opamp.cc *. 1.3 } in
+        let v2 = Measure_opamp.measure p2 in
+        Alcotest.(check bool) "bigger cc slews slower" true
+          (v2.Measure_opamp.slew_rate < v1.Measure_opamp.slew_rate));
+    Alcotest.test_case "phase margin is healthy and load-sensitive" `Slow
+      (fun () ->
+        let pm = Measure_opamp.phase_margin Opamp.nominal in
+        Alcotest.(check bool) "40..90 degrees" true (pm > 40.0 && pm < 90.0);
+        let heavy =
+          { Opamp.nominal with Stc_circuit.Opamp.cl =
+              Opamp.nominal.Stc_circuit.Opamp.cl *. 3.0 }
+        in
+        let pm_heavy = Measure_opamp.phase_margin heavy in
+        Alcotest.(check bool) "heavier load erodes margin" true (pm_heavy < pm));
+    Alcotest.test_case "all benches build and validate" `Quick (fun () ->
+        List.iter
+          (fun bench ->
+            let netlist = Opamp.netlist Opamp.nominal bench in
+            match Netlist.validate netlist with
+            | Ok () -> ()
+            | Error msg -> Alcotest.fail msg)
+          [ Opamp.Open_loop_gain; Opamp.Common_mode; Opamp.Power_supply;
+            Opamp.Unity_small_step 0.1; Opamp.Unity_large_step 4.0;
+            Opamp.Short_circuit ]);
+  ]
+
+let suites =
+  [
+    ("circuit.wave", wave_tests);
+    ("circuit.mosfet", mosfet_tests);
+    ("circuit.dc", dc_tests);
+    ("circuit.ac", ac_tests);
+    ("circuit.tran", tran_tests);
+    ("circuit.waveform", waveform_tests);
+    ("circuit.opamp", opamp_tests);
+  ]

@@ -1,0 +1,131 @@
+(* Integration tests: the full paper pipelines at reduced scale.
+   The op-amp Monte-Carlo costs ~50 ms per instance, so these suites
+   are kept small and marked `Slow where they exceed a second. *)
+
+module Experiment = Stc.Experiment
+module Device_data = Stc.Device_data
+module Compaction = Stc.Compaction
+module Metrics = Stc.Metrics
+module Cost = Stc.Cost
+module Spec = Stc.Spec
+module Order = Stc.Order
+
+let opamp_data = lazy (Experiment.generate_opamp ~seed:101 ~n_train:80 ~n_test:40 ())
+
+let mems_data = lazy (Experiment.generate_mems ~seed:102 ~n_train:400 ~n_test:400 ())
+
+let opamp_tests =
+  [
+    Alcotest.test_case "calibrated population centred on Table 1" `Slow (fun () ->
+        let train, _ = Lazy.force opamp_data in
+        let specs = Device_data.specs train in
+        (* the median of each calibrated spec should sit well inside its
+           acceptability range *)
+        Array.iteri
+          (fun j spec ->
+            let median = Stc_numerics.Stats.median (Device_data.spec_column train j) in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s median in range" spec.Spec.name)
+              true
+              (Spec.passes spec median))
+          specs);
+    Alcotest.test_case "op-amp yield in the paper's regime" `Slow (fun () ->
+        let train, test = Lazy.force opamp_data in
+        let y_train = Device_data.yield_fraction train in
+        let y_test = Device_data.yield_fraction test in
+        Alcotest.(check bool) "train yield 50-97%" true (y_train > 0.5 && y_train < 0.97);
+        Alcotest.(check bool) "test yield 50-97%" true (y_test > 0.5 && y_test < 0.97));
+    Alcotest.test_case "some op-amp tests are redundant" `Slow (fun () ->
+        let train, test = Lazy.force opamp_data in
+        let result =
+          Compaction.greedy
+            ~order:(Order.Given Experiment.opamp_examination_order)
+            Experiment.opamp_config ~train ~test
+        in
+        let n_dropped = Array.length result.Compaction.flow.Compaction.dropped in
+        Alcotest.(check bool) "drops at least 3 of 11" true (n_dropped >= 3);
+        let c = Compaction.evaluate_flow result.Compaction.flow test in
+        Alcotest.(check bool) "escape+loss small" true
+          (Metrics.prediction_error_pct c <= 5.0));
+    Alcotest.test_case "dropping everything is not allowed implicitly" `Slow
+      (fun () ->
+        let train, test = Lazy.force opamp_data in
+        let result =
+          Compaction.greedy Experiment.opamp_config ~train ~test
+        in
+        Alcotest.(check bool) "keeps at least one test" true
+          (Array.length result.Compaction.flow.Compaction.kept >= 1));
+  ]
+
+let mems_tests =
+  [
+    Alcotest.test_case "mems yield in the paper's regime" `Quick (fun () ->
+        let train, test = Lazy.force mems_data in
+        let y_train = Device_data.yield_fraction train in
+        let y_test = Device_data.yield_fraction test in
+        Alcotest.(check bool) "train yield 60-95%" true (y_train > 0.6 && y_train < 0.95);
+        Alcotest.(check bool) "test yield 60-95%" true (y_test > 0.6 && y_test < 0.95));
+    Alcotest.test_case "hot and cold tests are predictable" `Quick (fun () ->
+        let train, test = Lazy.force mems_data in
+        let both =
+          Array.append Experiment.mems_cold_indices Experiment.mems_hot_indices
+        in
+        let counts, flow =
+          Compaction.eliminate Experiment.mems_config ~train ~test ~dropped:both
+        in
+        Alcotest.(check int) "keeps the 5 room tests" 5
+          (Array.length flow.Compaction.kept);
+        Alcotest.(check bool) "escape < 1.5%" true (Metrics.escape_pct counts < 1.5);
+        Alcotest.(check bool) "loss < 1.5%" true (Metrics.loss_pct counts < 1.5);
+        Alcotest.(check bool) "guard below 20%" true (Metrics.guard_pct counts < 20.0));
+    Alcotest.test_case "guard grows with more eliminated temperatures" `Quick
+      (fun () ->
+        let train, test = Lazy.force mems_data in
+        let run dropped =
+          let counts, _ =
+            Compaction.eliminate Experiment.mems_config ~train ~test ~dropped
+          in
+          Metrics.guard_pct counts
+        in
+        let cold = run Experiment.mems_cold_indices in
+        let both =
+          run (Array.append Experiment.mems_cold_indices Experiment.mems_hot_indices)
+        in
+        Alcotest.(check bool) "both >= cold" true (both >= cold -. 0.5));
+    Alcotest.test_case "tri-temperature cost saving exceeds 40%" `Quick (fun () ->
+        let train, test = Lazy.force mems_data in
+        let both =
+          Array.append Experiment.mems_cold_indices Experiment.mems_hot_indices
+        in
+        let counts, _ =
+          Compaction.eliminate Experiment.mems_config ~train ~test ~dropped:both
+        in
+        let n = counts.Metrics.total in
+        (* room_pass: devices passing the room block in the full flow *)
+        let room_pass =
+          let count = ref 0 in
+          for i = 0 to Device_data.n_instances test - 1 do
+            if
+              Device_data.passes_subset test ~instance:i
+                ~subset:(Array.init 5 (fun k -> k))
+            then incr count
+          done;
+          !count
+        in
+        let r =
+          Cost.tri_temperature ~n ~room_pass ~guard:counts.Metrics.guards ()
+        in
+        Alcotest.(check bool) "saving > 40%" true (r.Cost.saving_pct > 40.0));
+    Alcotest.test_case "mems generation deterministic per seed" `Quick (fun () ->
+        let a, _ = Experiment.generate_mems ~seed:55 ~n_train:20 ~n_test:5 () in
+        let b, _ = Experiment.generate_mems ~seed:55 ~n_train:20 ~n_test:5 () in
+        Alcotest.(check (float 0.0)) "same spec value"
+          (Device_data.value a ~instance:7 ~spec:3)
+          (Device_data.value b ~instance:7 ~spec:3));
+  ]
+
+let suites =
+  [
+    ("integration.opamp", opamp_tests);
+    ("integration.mems", mems_tests);
+  ]

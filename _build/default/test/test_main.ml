@@ -1,0 +1,15 @@
+(* Aggregates every suite into one alcotest binary: `dune runtest`. *)
+
+let () =
+  Alcotest.run "stc"
+    (Test_numerics.suites
+     @ Test_circuit.suites
+     @ Test_spice.suites
+     @ Test_io.suites
+     @ Test_more.suites
+     @ Test_mems.suites
+     @ Test_svm.suites
+     @ Test_process.suites
+     @ Test_core.suites
+     @ Test_extensions.suites
+     @ Test_integration.suites)

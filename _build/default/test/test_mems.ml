@@ -1,0 +1,251 @@
+(* Tests for the MEMS accelerometer substrate. *)
+
+module Material = Stc_mems.Material
+module Beam = Stc_mems.Beam
+module Geometry = Stc_mems.Geometry
+module Accel_model = Stc_mems.Accel_model
+module Measure_mems = Stc_mems.Measure_mems
+
+let check_close tol = Alcotest.(check (float tol))
+
+let room = Material.room_temperature
+
+let material_tests =
+  [
+    Alcotest.test_case "young's modulus softens when hot" `Quick (fun () ->
+        let e_room = Material.youngs_modulus room in
+        let e_hot = Material.youngs_modulus 80.0 in
+        let e_cold = Material.youngs_modulus (-40.0) in
+        Alcotest.(check bool) "hot softer" true (e_hot < e_room);
+        Alcotest.(check bool) "cold stiffer" true (e_cold > e_room));
+    Alcotest.test_case "thermal strain sign" `Quick (fun () ->
+        check_close 1e-15 "zero at room" 0.0 (Material.thermal_strain room);
+        Alcotest.(check bool) "hot compressive" true (Material.thermal_strain 80.0 < 0.0);
+        Alcotest.(check bool) "cold tensile" true (Material.thermal_strain (-40.0) > 0.0));
+    Alcotest.test_case "viscosity increases with temperature" `Quick (fun () ->
+        Alcotest.(check bool) "sutherland" true
+          (Material.air_viscosity 80.0 > Material.air_viscosity (-40.0)));
+  ]
+
+let beam = { Beam.length = 260e-6; width = 2e-6; thickness = 5e-6 }
+
+let beam_tests =
+  [
+    Alcotest.test_case "lateral stiffness formula" `Quick (fun () ->
+        let k = Beam.lateral_stiffness ~strain:0.0 beam ~temp:room in
+        let expected =
+          Material.youngs_modulus room *. 5e-6 *. (2e-6 ** 3.0) /. (260e-6 ** 3.0)
+        in
+        check_close (expected *. 1e-9) "Etw3/L3" expected k);
+    Alcotest.test_case "axial much stiffer than lateral" `Quick (fun () ->
+        let ka = Beam.axial_stiffness beam ~temp:room in
+        let kl = Beam.lateral_stiffness ~strain:0.0 beam ~temp:room in
+        Alcotest.(check bool) "ratio ~ (L/w)^2" true (ka /. kl > 1000.0));
+    Alcotest.test_case "folded axial between the two" `Quick (fun () ->
+        let ka = Beam.axial_stiffness beam ~temp:room in
+        let kf = Beam.folded_axial_stiffness beam ~temp:room in
+        let kl = Beam.lateral_stiffness ~strain:0.0 beam ~temp:room in
+        Alcotest.(check bool) "kl < kf < ka" true (kl < kf && kf < ka));
+    Alcotest.test_case "tension stiffens, compression softens" `Quick (fun () ->
+        let k0 = Beam.lateral_stiffness ~strain:0.0 beam ~temp:room in
+        let kt = Beam.lateral_stiffness ~strain:1e-5 beam ~temp:room in
+        let kc = Beam.lateral_stiffness ~strain:(-1e-5) beam ~temp:room in
+        Alcotest.(check bool) "order" true (kc < k0 && k0 < kt));
+    Alcotest.test_case "stiffness floor beyond buckling" `Quick (fun () ->
+        let eps = -2.0 *. Beam.buckling_strain beam in
+        let k = Beam.lateral_stiffness ~strain:eps beam ~temp:room in
+        Alcotest.(check bool) "clamped positive" true (k > 0.0));
+    Alcotest.test_case "buckling strain formula" `Quick (fun () ->
+        let expected =
+          Float.pi *. Float.pi *. 2e-6 *. 2e-6 /. (12.0 *. 260e-6 *. 260e-6)
+        in
+        check_close (expected *. 1e-9) "pi^2 w^2/12L^2" expected
+          (Beam.buckling_strain beam));
+  ]
+
+let geometry_tests =
+  [
+    Alcotest.test_case "proof mass close to plate mass" `Quick (fun () ->
+        let g = Geometry.nominal in
+        let plate =
+          2330.0 *. g.Geometry.plate_length *. g.Geometry.plate_width
+          *. g.Geometry.thickness
+        in
+        let m = Geometry.proof_mass g in
+        Alcotest.(check bool) "plate dominates" true (m > plate && m < 1.5 *. plate));
+    Alcotest.test_case "rest capacitance positive" `Quick (fun () ->
+        Alcotest.(check bool) "C0" true (Geometry.rest_capacitance Geometry.nominal > 0.0));
+    Alcotest.test_case "damping grows with temperature" `Quick (fun () ->
+        let g = Geometry.nominal in
+        Alcotest.(check bool) "b(80) > b(-40)" true
+          (Geometry.damping_coefficient g ~temp:80.0
+           > Geometry.damping_coefficient g ~temp:(-40.0)));
+  ]
+
+let model_tests =
+  [
+    Alcotest.test_case "resonance matches sqrt(k/m)" `Quick (fun () ->
+        let m = Accel_model.build Geometry.nominal ~temp:room in
+        let kxx, _, _ = Accel_model.stiffness m in
+        let f_expected = sqrt (kxx /. Accel_model.mass m) /. (2.0 *. Float.pi) in
+        check_close 1e-6 "f0" f_expected (Accel_model.resonance m));
+    Alcotest.test_case "dc displacement is F/k" `Quick (fun () ->
+        let m = Accel_model.build Geometry.nominal ~temp:room in
+        let kxx, kyy, kxy = Accel_model.stiffness m in
+        let x = Accel_model.displacement m ~axis:Accel_model.X_axis ~freq:0.0 ~accel:9.81 in
+        let f = Accel_model.mass m *. 9.81 in
+        (* 2x2 static solve *)
+        let det = (kxx *. kyy) -. (kxy *. kxy) in
+        let expected = kyy *. f /. det in
+        check_close (Float.abs expected *. 1e-6) "static" expected x.Complex.re);
+    Alcotest.test_case "nominal cross coupling cancels" `Quick (fun () ->
+        let m = Accel_model.build Geometry.nominal ~temp:room in
+        let kxx, _, kxy = Accel_model.stiffness m in
+        Alcotest.(check bool) "kxy tiny" true (Float.abs kxy < 1e-6 *. kxx));
+    Alcotest.test_case "response peaks near resonance" `Quick (fun () ->
+        let m = Accel_model.build Geometry.nominal ~temp:room in
+        let f0 = Accel_model.resonance m in
+        let dc = Accel_model.response_mv_per_v m ~axis:Accel_model.X_axis ~freq:0.0 in
+        let at_peak = Accel_model.response_mv_per_v m ~axis:Accel_model.X_axis ~freq:f0 in
+        let far = Accel_model.response_mv_per_v m ~axis:Accel_model.X_axis ~freq:(10.0 *. f0) in
+        Alcotest.(check bool) "peaked" true (at_peak > dc && far < dc));
+    Alcotest.test_case "hot softer resonance than cold" `Quick (fun () ->
+        let hot = Accel_model.build Geometry.nominal ~temp:80.0 in
+        let cold = Accel_model.build Geometry.nominal ~temp:(-40.0) in
+        Alcotest.(check bool) "f_hot < f_cold" true
+          (Accel_model.resonance hot < Accel_model.resonance cold));
+  ]
+
+let transient_tests =
+  [
+    Alcotest.test_case "step response settles to static deflection" `Quick
+      (fun () ->
+        let m = Accel_model.build Geometry.nominal ~temp:room in
+        let f0 = Accel_model.resonance m in
+        let w =
+          Accel_model.step_response m ~axis:Accel_model.X_axis ~accel:9.81
+            ~tstop:(20.0 /. f0) ~dt:(1.0 /. f0 /. 200.0)
+        in
+        let static =
+          (Accel_model.displacement m ~axis:Accel_model.X_axis ~freq:0.0
+             ~accel:9.81).Complex.re
+        in
+        let _, final = w.(Array.length w - 1) in
+        check_close (Float.abs static *. 0.01) "final = F/k" static final);
+    Alcotest.test_case "ring frequency matches damped resonance" `Quick
+      (fun () ->
+        let m = Accel_model.build Geometry.nominal ~temp:room in
+        let f0 = Accel_model.resonance m in
+        let q = Accel_model.quality_estimate m in
+        let zeta = 1.0 /. (2.0 *. q) in
+        let fd = f0 *. sqrt (1.0 -. (zeta *. zeta)) in
+        let w =
+          Accel_model.step_response m ~axis:Accel_model.X_axis ~accel:9.81
+            ~tstop:(10.0 /. f0) ~dt:(1.0 /. f0 /. 500.0)
+        in
+        let static =
+          (Accel_model.displacement m ~axis:Accel_model.X_axis ~freq:0.0
+             ~accel:9.81).Complex.re
+        in
+        (* period between the first two downward crossings of the final
+           value gives the damped ringing frequency *)
+        let crossings =
+          Stc_numerics.Interp.crossings w ~level:static ~direction:`Falling
+        in
+        (match crossings with
+         | t1 :: t2 :: _ ->
+           let measured = 1.0 /. (t2 -. t1) in
+           check_close (fd *. 0.02) "damped frequency" fd measured
+         | _ -> Alcotest.fail "expected at least two ring crossings"));
+    Alcotest.test_case "overshoot consistent with Q" `Quick (fun () ->
+        let m = Accel_model.build Geometry.nominal ~temp:room in
+        let f0 = Accel_model.resonance m in
+        let q = Accel_model.quality_estimate m in
+        let zeta = 1.0 /. (2.0 *. q) in
+        let expected =
+          exp (-.zeta *. Float.pi /. sqrt (1.0 -. (zeta *. zeta)))
+        in
+        let w =
+          Accel_model.step_response m ~axis:Accel_model.X_axis ~accel:9.81
+            ~tstop:(20.0 /. f0) ~dt:(1.0 /. f0 /. 500.0)
+        in
+        let static =
+          (Accel_model.displacement m ~axis:Accel_model.X_axis ~freq:0.0
+             ~accel:9.81).Complex.re
+        in
+        let peak = Array.fold_left (fun acc (_, x) -> Float.max acc x) 0.0 w in
+        let overshoot = (peak -. static) /. static in
+        check_close 0.02 "classic 2nd-order overshoot" expected overshoot);
+    Alcotest.test_case "cross-axis step excites x through coupling" `Quick
+      (fun () ->
+        let g = Geometry.nominal in
+        let skewed =
+          {
+            g with
+            Geometry.springs =
+              Array.mapi
+                (fun i s ->
+                  { s with Geometry.angle = Geometry.ideal_angles.(i) +. 0.02 })
+                g.Geometry.springs;
+          }
+        in
+        let m = Accel_model.build skewed ~temp:room in
+        let f0 = Accel_model.resonance m in
+        let w =
+          Accel_model.step_response m ~axis:Accel_model.Y_axis ~accel:9.81
+            ~tstop:(20.0 /. f0) ~dt:(1.0 /. f0 /. 200.0)
+        in
+        let _, final = w.(Array.length w - 1) in
+        Alcotest.(check bool) "nonzero coupled deflection" true
+          (Float.abs final > 1e-13));
+  ]
+
+let measure_tests =
+  [
+    Alcotest.test_case "nominal lands near Table 2" `Quick (fun () ->
+        let v = Measure_mems.measure Geometry.nominal ~temp:room in
+        Alcotest.(check bool) "SF 5-30" true
+          (v.Measure_mems.scale_factor > 5.0 && v.Measure_mems.scale_factor < 30.0);
+        Alcotest.(check bool) "fp ~5.6k" true
+          (v.Measure_mems.peak_freq > 5.0 && v.Measure_mems.peak_freq < 6.2);
+        Alcotest.(check bool) "Q ~2.1" true
+          (v.Measure_mems.quality > 1.5 && v.Measure_mems.quality < 2.8);
+        Alcotest.(check (float 0.05)) "cross ~0" 0.0 v.Measure_mems.cross_axis);
+    Alcotest.test_case "tri-temperature trends" `Quick (fun () ->
+        let _, cold, hot = Measure_mems.tri_temperature Geometry.nominal in
+        Alcotest.(check bool) "cold peak higher" true
+          (cold.Measure_mems.peak_freq > hot.Measure_mems.peak_freq);
+        Alcotest.(check bool) "cold Q higher (less damping)" true
+          (cold.Measure_mems.quality > hot.Measure_mems.quality));
+    Alcotest.test_case "bandwidth below peak for resonant part" `Quick (fun () ->
+        let v = Measure_mems.measure Geometry.nominal ~temp:room in
+        Alcotest.(check bool) "bw < fp" true
+          (v.Measure_mems.bandwidth < v.Measure_mems.peak_freq));
+    Alcotest.test_case "skewed springs produce cross-axis signal" `Quick (fun () ->
+        let g = Geometry.nominal in
+        (* break the pairwise cancellation: all skews the same sign *)
+        let springs =
+          Array.mapi
+            (fun i s ->
+              { s with Geometry.angle = Geometry.ideal_angles.(i) +. 0.01 })
+            g.Geometry.springs
+        in
+        let v = Measure_mems.measure { g with Geometry.springs } ~temp:room in
+        Alcotest.(check bool) "nonzero cross" true
+          (Float.abs v.Measure_mems.cross_axis > 1e-4));
+    Alcotest.test_case "measurement deterministic" `Quick (fun () ->
+        let a = Measure_mems.measure Geometry.nominal ~temp:room in
+        let b = Measure_mems.measure Geometry.nominal ~temp:room in
+        Alcotest.(check (array (float 0.0))) "identical"
+          (Measure_mems.to_array a) (Measure_mems.to_array b));
+  ]
+
+let suites =
+  [
+    ("mems.material", material_tests);
+    ("mems.beam", beam_tests);
+    ("mems.geometry", geometry_tests);
+    ("mems.model", model_tests);
+    ("mems.transient", transient_tests);
+    ("mems.measure", measure_tests);
+  ]

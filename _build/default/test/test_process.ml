@@ -1,0 +1,149 @@
+(* Tests for process variation and Monte-Carlo generation. *)
+
+module Variation = Stc_process.Variation
+module Montecarlo = Stc_process.Montecarlo
+module Rng = Stc_numerics.Rng
+module Stats = Stc_numerics.Stats
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let variation_tests =
+  [
+    Alcotest.test_case "fixed never varies" `Quick (fun () ->
+        let p = Variation.param "x" 3.0 Variation.Fixed in
+        let rng = Rng.create 1 in
+        for _ = 1 to 50 do
+          Alcotest.(check (float 0.0)) "fixed" 3.0 (Variation.sample rng p)
+        done);
+    Alcotest.test_case "uniform_pct bounds" `Quick (fun () ->
+        let p = Variation.uniform_pct "w" 10.0 ~pct:0.10 in
+        let rng = Rng.create 2 in
+        for _ = 1 to 1000 do
+          let v = Variation.sample rng p in
+          Alcotest.(check bool) "within ±10%" true (v >= 9.0 && v < 11.0)
+        done);
+    Alcotest.test_case "uniform_pct handles negative nominal" `Quick (fun () ->
+        let p = Variation.uniform_pct "skew" (-2.0) ~pct:0.10 in
+        let rng = Rng.create 3 in
+        for _ = 1 to 200 do
+          let v = Variation.sample rng p in
+          Alcotest.(check bool) "within band" true (v >= -2.2 && v <= -1.8)
+        done);
+    Alcotest.test_case "uniform mean near nominal" `Quick (fun () ->
+        let p = Variation.uniform_pct "c" 5.0 ~pct:0.10 in
+        let rng = Rng.create 4 in
+        let xs = Array.init 20000 (fun _ -> Variation.sample rng p) in
+        Alcotest.(check (float 0.01)) "mean" 5.0 (Stats.mean xs));
+    Alcotest.test_case "normal_relative sigma" `Quick (fun () ->
+        let p = Variation.param "x" 10.0 (Variation.Normal_relative 0.05) in
+        let rng = Rng.create 5 in
+        let xs = Array.init 20000 (fun _ -> Variation.sample rng p) in
+        Alcotest.(check (float 0.02)) "sd" 0.5 (Stats.stddev xs));
+    Alcotest.test_case "uniform_absolute range" `Quick (fun () ->
+        let p = Variation.param "x" 0.0 (Variation.Uniform_absolute (2.0, 4.0)) in
+        let rng = Rng.create 6 in
+        for _ = 1 to 500 do
+          let v = Variation.sample rng p in
+          Alcotest.(check bool) "range" true (v >= 2.0 && v < 4.0)
+        done);
+    qtest
+      (QCheck.Test.make ~name:"sample_all aligns with params" ~count:50
+         QCheck.(int_range 0 10000)
+         (fun seed ->
+           let params =
+             Array.init 5 (fun i ->
+                 Variation.uniform_pct (string_of_int i) (float_of_int (i + 1))
+                   ~pct:0.10)
+           in
+           let rng = Rng.create seed in
+           let draw = Variation.sample_all rng params in
+           Array.length draw = 5
+           && Array.for_all2
+                (fun v p ->
+                  let nominal = p.Variation.nominal in
+                  v >= 0.9 *. nominal && v <= 1.1 *. nominal)
+                draw params));
+  ]
+
+(* A toy analytic device: two parameters, three "specs". *)
+let toy_device =
+  {
+    Montecarlo.device_name = "toy";
+    params =
+      [|
+        Variation.uniform_pct "a" 1.0 ~pct:0.10;
+        Variation.uniform_pct "b" 2.0 ~pct:0.10;
+      |];
+    spec_count = 3;
+    simulate =
+      (fun v -> Some [| v.(0); v.(1); v.(0) +. v.(1) |]);
+  }
+
+let flaky_device threshold =
+  {
+    toy_device with
+    Montecarlo.device_name = "flaky";
+    simulate = (fun v -> if v.(0) > threshold then None else Some [| v.(0); v.(1); 0.0 |]);
+  }
+
+let montecarlo_tests =
+  [
+    Alcotest.test_case "generates requested count" `Quick (fun () ->
+        let d = Montecarlo.generate (Rng.create 1) toy_device ~n:57 in
+        Alcotest.(check int) "inputs" 57 (Array.length d.Montecarlo.inputs);
+        Alcotest.(check int) "specs" 57 (Array.length d.Montecarlo.specs);
+        Alcotest.(check int) "no discards" 0 d.Montecarlo.discarded);
+    Alcotest.test_case "deterministic per seed" `Quick (fun () ->
+        let a = Montecarlo.generate (Rng.create 42) toy_device ~n:10 in
+        let b = Montecarlo.generate (Rng.create 42) toy_device ~n:10 in
+        Alcotest.(check (float 0.0)) "same draw"
+          a.Montecarlo.inputs.(3).(1) b.Montecarlo.inputs.(3).(1));
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Montecarlo.generate (Rng.create 1) toy_device ~n:5 in
+        let b = Montecarlo.generate (Rng.create 2) toy_device ~n:5 in
+        Alcotest.(check bool) "differ" true
+          (a.Montecarlo.inputs.(0).(0) <> b.Montecarlo.inputs.(0).(0)));
+    Alcotest.test_case "spec derived consistently" `Quick (fun () ->
+        let d = Montecarlo.generate (Rng.create 7) toy_device ~n:20 in
+        Array.iteri
+          (fun i input ->
+            Alcotest.(check (float 1e-12)) "sum spec"
+              (input.(0) +. input.(1))
+              d.Montecarlo.specs.(i).(2))
+          d.Montecarlo.inputs);
+    Alcotest.test_case "failed draws are redrawn and counted" `Quick (fun () ->
+        (* fails roughly half the time: a > 1.0 *)
+        let d = Montecarlo.generate ~max_failure_ratio:10.0 (Rng.create 3)
+                  (flaky_device 1.0) ~n:30
+        in
+        Alcotest.(check int) "count" 30 (Array.length d.Montecarlo.inputs);
+        Alcotest.(check bool) "some discards" true (d.Montecarlo.discarded > 0);
+        Array.iter
+          (fun input ->
+            Alcotest.(check bool) "survivors below threshold" true (input.(0) <= 1.0))
+          d.Montecarlo.inputs);
+    Alcotest.test_case "hopeless device raises" `Quick (fun () ->
+        (match Montecarlo.generate (Rng.create 1) (flaky_device 0.0) ~n:30 with
+         | exception Montecarlo.Too_many_failures _ -> ()
+         | _ -> Alcotest.fail "expected Too_many_failures"));
+    Alcotest.test_case "split and take" `Quick (fun () ->
+        let d = Montecarlo.generate (Rng.create 5) toy_device ~n:20 in
+        let a, b = Montecarlo.split d ~at:12 in
+        Alcotest.(check int) "left" 12 (Array.length a.Montecarlo.inputs);
+        Alcotest.(check int) "right" 8 (Array.length b.Montecarlo.inputs);
+        Alcotest.(check (float 0.0)) "boundary preserved"
+          d.Montecarlo.specs.(12).(0) b.Montecarlo.specs.(0).(0);
+        let t = Montecarlo.take d 5 in
+        Alcotest.(check int) "take" 5 (Array.length t.Montecarlo.specs));
+    Alcotest.test_case "spec_column extracts" `Quick (fun () ->
+        let d = Montecarlo.generate (Rng.create 5) toy_device ~n:8 in
+        let col = Montecarlo.spec_column d 2 in
+        Alcotest.(check int) "length" 8 (Array.length col);
+        Alcotest.(check (float 0.0)) "value" d.Montecarlo.specs.(3).(2) col.(3));
+  ]
+
+let suites =
+  [
+    ("process.variation", variation_tests);
+    ("process.montecarlo", montecarlo_tests);
+  ]

@@ -1,0 +1,204 @@
+(* Tests for the SPICE deck reader/writer. *)
+
+module Spice = Stc_circuit.Spice
+module Netlist = Stc_circuit.Netlist
+module Wave = Stc_circuit.Wave
+module Mosfet = Stc_circuit.Mosfet
+module Mna = Stc_circuit.Mna
+module Dc = Stc_circuit.Dc
+
+let check_close tol = Alcotest.(check (float tol))
+
+let value_tests =
+  [
+    Alcotest.test_case "plain numbers" `Quick (fun () ->
+        check_close 0.0 "int" 42.0 (Option.get (Spice.parse_value "42"));
+        check_close 0.0 "float" 3.5 (Option.get (Spice.parse_value "3.5"));
+        check_close 0.0 "exponent" 1500.0 (Option.get (Spice.parse_value "1.5e3"));
+        check_close 0.0 "negative" (-2.0) (Option.get (Spice.parse_value "-2")));
+    Alcotest.test_case "engineering suffixes" `Quick (fun () ->
+        check_close 1e-3 "k" 10e3 (Option.get (Spice.parse_value "10k"));
+        check_close 1e-18 "u" 2.2e-6 (Option.get (Spice.parse_value "2.2u"));
+        check_close 1e-24 "p" 5e-12 (Option.get (Spice.parse_value "5p"));
+        check_close 1e-3 "meg" 5e6 (Option.get (Spice.parse_value "5MEG"));
+        check_close 1e-21 "n" 1e-9 (Option.get (Spice.parse_value "1n"));
+        check_close 1e-27 "f" 1e-15 (Option.get (Spice.parse_value "1f")));
+    Alcotest.test_case "units after suffix ignored" `Quick (fun () ->
+        check_close 1e-3 "kohm" 10e3 (Option.get (Spice.parse_value "10kOhm"));
+        check_close 1e-9 "volts" 5.0 (Option.get (Spice.parse_value "5V")));
+    Alcotest.test_case "garbage rejected" `Quick (fun () ->
+        Alcotest.(check bool) "letters" true (Spice.parse_value "abc" = None);
+        Alcotest.(check bool) "empty" true (Spice.parse_value "" = None));
+  ]
+
+let divider_deck =
+  "simple divider\n\
+   * a comment line\n\
+   V1 in 0 DC 10\n\
+   R1 in mid 1k\n\
+   R2 mid 0 1k\n\
+   .end\n"
+
+let parse_tests =
+  [
+    Alcotest.test_case "divider parses and solves" `Quick (fun () ->
+        match Spice.parse divider_deck with
+        | Error msg -> Alcotest.fail msg
+        | Ok netlist ->
+          let sys = Mna.build netlist in
+          let x = Dc.solve sys in
+          check_close 1e-6 "mid" 5.0 (Mna.node_voltage sys x "mid"));
+    Alcotest.test_case "continuation lines" `Quick (fun () ->
+        let deck = "t\nR1 a 0\n+ 2k\n.end\n" in
+        match Spice.parse deck with
+        | Error msg -> Alcotest.fail msg
+        | Ok netlist ->
+          (match Netlist.find netlist "R1" with
+           | Netlist.Resistor { r; _ } -> check_close 0.0 "value" 2000.0 r
+           | _ -> Alcotest.fail "expected resistor"));
+    Alcotest.test_case "pulse source" `Quick (fun () ->
+        let deck = "t\nV1 in 0 PULSE(0 5 1u 10n 10n 2u 5u)\n.end\n" in
+        match Spice.parse deck with
+        | Error msg -> Alcotest.fail msg
+        | Ok netlist ->
+          (match Netlist.find netlist "V1" with
+           | Netlist.Vsource { wave = Wave.Pulse { v2; period; _ }; _ } ->
+             check_close 0.0 "v2" 5.0 v2;
+             check_close 1e-18 "period" 5e-6 period
+           | _ -> Alcotest.fail "expected pulse source"));
+    Alcotest.test_case "sin and ac" `Quick (fun () ->
+        let deck = "t\nV1 in 0 SIN(2.5 0.1 1k) AC 1\n.end\n" in
+        match Spice.parse deck with
+        | Error msg -> Alcotest.fail msg
+        | Ok netlist ->
+          (match Netlist.find netlist "V1" with
+           | Netlist.Vsource { wave = Wave.Sine { freq; _ }; ac; _ } ->
+             check_close 1e-9 "freq" 1000.0 freq;
+             check_close 0.0 "ac" 1.0 ac
+           | _ -> Alcotest.fail "expected sine source"));
+    Alcotest.test_case "mosfet with model card" `Quick (fun () ->
+        let deck =
+          "t\n\
+           .model mynmos NMOS (vto=0.6 kp=120u lambda=0.05)\n\
+           M1 d g 0 0 mynmos W=20u L=2u\n\
+           .end\n"
+        in
+        match Spice.parse deck with
+        | Error msg -> Alcotest.fail msg
+        | Ok netlist ->
+          (match Netlist.find netlist "M1" with
+           | Netlist.Mosfet { model; w; l; _ } ->
+             check_close 1e-12 "vt0" 0.6 model.Mosfet.vt0;
+             check_close 1e-12 "kp" 120e-6 model.Mosfet.kp;
+             check_close 1e-12 "w" 20e-6 w;
+             check_close 1e-12 "l" 2e-6 l
+           | _ -> Alcotest.fail "expected mosfet"));
+    Alcotest.test_case "default models available" `Quick (fun () ->
+        let deck = "t\nM1 d g 0 0 pmos W=5u L=1u\n.end\n" in
+        match Spice.parse deck with
+        | Error msg -> Alcotest.fail msg
+        | Ok netlist ->
+          (match Netlist.find netlist "M1" with
+           | Netlist.Mosfet { model; _ } ->
+             Alcotest.(check bool) "pmos" true (model.Mosfet.kind = Mosfet.Pmos)
+           | _ -> Alcotest.fail "expected mosfet"));
+    Alcotest.test_case "vcvs and vccs" `Quick (fun () ->
+        let deck = "t\nE1 out 0 a b 5\nG1 0 out a b 1m\nR1 out 0 1k\n.end\n" in
+        match Spice.parse deck with
+        | Error msg -> Alcotest.fail msg
+        | Ok netlist ->
+          Alcotest.(check int) "3 elements" 3 (List.length netlist.Netlist.elements));
+    Alcotest.test_case "errors carry line numbers" `Quick (fun () ->
+        let deck = "t\nR1 a 0 1k\nQ1 c b e model\n.end\n" in
+        match Spice.parse deck with
+        | Error msg ->
+          Alcotest.(check bool) "mentions line 3" true
+            (String.length msg >= 6 && String.sub msg 0 6 = "line 3")
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "cards after .end ignored" `Quick (fun () ->
+        let deck = "t\nR1 a 0 1k\n.end\nR1 a 0 2k\n" in
+        match Spice.parse deck with
+        | Error msg -> Alcotest.fail msg
+        | Ok netlist ->
+          Alcotest.(check int) "one element" 1 (List.length netlist.Netlist.elements));
+    Alcotest.test_case "duplicate names rejected via validate" `Quick (fun () ->
+        let deck = "t\nR1 a 0 1k\nR1 b 0 2k\n.end\n" in
+        match Spice.parse deck with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected duplicate error");
+  ]
+
+let roundtrip_tests =
+  [
+    Alcotest.test_case "opamp bench round-trips" `Quick (fun () ->
+        let original =
+          Stc_circuit.Opamp.netlist Stc_circuit.Opamp.nominal
+            Stc_circuit.Opamp.Open_loop_gain
+        in
+        let text = Spice.to_string original in
+        match Spice.parse text with
+        | Error msg -> Alcotest.fail msg
+        | Ok reparsed ->
+          Alcotest.(check int) "same element count"
+            (List.length original.Netlist.elements)
+            (List.length reparsed.Netlist.elements);
+          (* and it still biases up to the same operating point *)
+          let solve netlist =
+            let sys = Mna.build netlist in
+            let x0 =
+              Stc_circuit.Opamp.initial_guess Stc_circuit.Opamp.nominal sys
+            in
+            let x = Dc.solve ~x0 sys in
+            Mna.node_voltage sys x "out"
+          in
+          check_close 1e-6 "same output bias" (solve original) (solve reparsed));
+    Alcotest.test_case "divider round-trips" `Quick (fun () ->
+        match Spice.parse divider_deck with
+        | Error msg -> Alcotest.fail msg
+        | Ok netlist ->
+          let text = Spice.to_string ~title:"* rt" netlist in
+          (match Spice.parse text with
+           | Error msg -> Alcotest.fail msg
+           | Ok again ->
+             Alcotest.(check int) "count" 3 (List.length again.Netlist.elements)));
+  ]
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let property_tests =
+  [
+    qtest
+      (QCheck.Test.make ~name:"printed values re-parse exactly" ~count:300
+         QCheck.(float_range (-1e9) 1e9)
+         (fun v ->
+           match Spice.parse_value (Printf.sprintf "%.17g" v) with
+           | Some v' -> v' = v
+           | None -> false));
+    qtest
+      (QCheck.Test.make ~name:"RC decks round-trip through the writer" ~count:50
+         QCheck.(pair (float_range 1.0 1e6) (float_range 1e-12 1e-3))
+         (fun (r, c) ->
+           let netlist =
+             Netlist.of_elements
+               [
+                 Netlist.vdc "v1" "in" "0" 5.0;
+                 Netlist.r "r1" "in" "out" r;
+                 Netlist.c "c1" "out" "0" c;
+               ]
+           in
+           match Spice.parse (Spice.to_string netlist) with
+           | Error _ -> false
+           | Ok again ->
+             (match (Netlist.find again "r1", Netlist.find again "c1") with
+              | Netlist.Resistor { r = r'; _ }, Netlist.Capacitor { c = c'; _ } ->
+                r' = r && c' = c
+              | _ -> false)));
+  ]
+
+let suites =
+  [
+    ("spice.values", value_tests);
+    ("spice.parse", parse_tests);
+    ("spice.roundtrip", roundtrip_tests);
+    ("spice.properties", property_tests);
+  ]

@@ -1,0 +1,454 @@
+(* Tests for the SVM substrate: kernels, the SMO solver, SVC, SVR,
+   scaling, metrics and cross-validation. *)
+
+module Kernel = Stc_svm.Kernel
+module Smo = Stc_svm.Smo
+module Svc = Stc_svm.Svc
+module Svr = Stc_svm.Svr
+module Scale = Stc_svm.Scale
+module Metrics_bin = Stc_svm.Metrics_bin
+module Cross_val = Stc_svm.Cross_val
+module Row_cache = Stc_svm.Row_cache
+module Rng = Stc_numerics.Rng
+
+let check_close tol = Alcotest.(check (float tol))
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let vec_pair =
+  QCheck.(pair (array_of_size (Gen.return 4) (float_range (-5.) 5.))
+            (array_of_size (Gen.return 4) (float_range (-5.) 5.)))
+
+let kernel_tests =
+  [
+    Alcotest.test_case "linear kernel is dot product" `Quick (fun () ->
+        check_close 1e-12 "dot" 11.0
+          (Kernel.eval Kernel.linear [| 1.; 2. |] [| 3.; 4. |]));
+    Alcotest.test_case "rbf at zero distance is 1" `Quick (fun () ->
+        check_close 1e-12 "k(x,x)" 1.0
+          (Kernel.eval (Kernel.rbf 0.5) [| 1.; 2. |] [| 1.; 2. |]));
+    Alcotest.test_case "default gamma" `Quick (fun () ->
+        check_close 1e-12 "1/dim" 0.25 (Kernel.default_gamma ~dim:4));
+    qtest
+      (QCheck.Test.make ~name:"kernels are symmetric" ~count:200 vec_pair
+         (fun (x, y) ->
+           List.for_all
+             (fun k ->
+               let a = Kernel.eval k x y and b = Kernel.eval k y x in
+               Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a))
+             [ Kernel.linear; Kernel.rbf 0.3;
+               Kernel.Polynomial { gamma = 0.5; coef0 = 1.0; degree = 3 };
+               Kernel.Sigmoid { gamma = 0.1; coef0 = 0.0 } ]));
+    qtest
+      (QCheck.Test.make ~name:"rbf bounded by (0,1]" ~count:200 vec_pair
+         (fun (x, y) ->
+           let v = Kernel.eval (Kernel.rbf 0.7) x y in
+           v > 0.0 && v <= 1.0));
+    qtest
+      (QCheck.Test.make ~name:"rbf 2x2 gram is PSD" ~count:200 vec_pair
+         (fun (x, y) ->
+           let k = Kernel.rbf 0.4 in
+           let kxx = Kernel.eval k x x and kyy = Kernel.eval k y y in
+           let kxy = Kernel.eval k x y in
+           (* PSD for 2 points: det >= 0 and trace >= 0 *)
+           (kxx *. kyy) -. (kxy *. kxy) >= -1e-9));
+  ]
+
+(* Analytic two-point SVC problem: points x=-1 (y=-1), x=+1 (y=+1) with
+   linear kernel. Dual optimum: alpha1 = alpha2 = 0.5 (unbounded C),
+   decision f(x) = x. *)
+let smo_tests =
+  [
+    Alcotest.test_case "two-point analytic optimum" `Quick (fun () ->
+        let x = [| [| -1.0 |]; [| 1.0 |] |] in
+        let y = [| -1.0; 1.0 |] in
+        let q_row i =
+          Array.init 2 (fun j -> y.(i) *. y.(j) *. (x.(i).(0) *. x.(j).(0)))
+        in
+        let problem =
+          {
+            Smo.size = 2;
+            q_row;
+            q_diag = [| 1.0; 1.0 |];
+            p = [| -1.0; -1.0 |];
+            y;
+            c = [| 100.0; 100.0 |];
+          }
+        in
+        let sol = Smo.solve problem in
+        check_close 1e-6 "alpha0" 0.5 sol.Smo.alpha.(0);
+        check_close 1e-6 "alpha1" 0.5 sol.Smo.alpha.(1);
+        check_close 1e-6 "rho" 0.0 sol.Smo.rho);
+    Alcotest.test_case "box constraints respected" `Quick (fun () ->
+        let rng = Rng.create 9 in
+        let n = 40 in
+        let x = Array.init n (fun _ -> [| Rng.uniform rng (-1.) 1.; Rng.uniform rng (-1.) 1. |]) in
+        let y = Array.init n (fun i -> if x.(i).(0) +. x.(i).(1) > 0.0 then 1.0 else -1.0) in
+        let k = Kernel.rbf 1.0 in
+        let q_row i = Array.init n (fun j -> y.(i) *. y.(j) *. Kernel.eval k x.(i) x.(j)) in
+        let c = 2.5 in
+        let problem =
+          {
+            Smo.size = n;
+            q_row;
+            q_diag = Array.init n (fun i -> Kernel.eval k x.(i) x.(i));
+            p = Array.make n (-1.0);
+            y;
+            c = Array.make n c;
+          }
+        in
+        let sol = Smo.solve problem in
+        Array.iter
+          (fun a ->
+            Alcotest.(check bool) "0 <= a <= C" true (a >= -1e-9 && a <= c +. 1e-9))
+          sol.Smo.alpha;
+        (* equality constraint y^T alpha = 0 *)
+        let dot = ref 0.0 in
+        Array.iteri (fun i a -> dot := !dot +. (y.(i) *. a)) sol.Smo.alpha;
+        check_close 1e-6 "y.alpha" 0.0 !dot);
+    Alcotest.test_case "objective decreases vs zero start" `Quick (fun () ->
+        (* at alpha = 0 the SVC objective is 0; the optimum must be <= 0 *)
+        let x = [| [| 0.0 |]; [| 1.0 |]; [| 2.0 |]; [| 3.0 |] |] in
+        let y = [| -1.0; -1.0; 1.0; 1.0 |] in
+        let k = Kernel.rbf 0.5 in
+        let q_row i = Array.init 4 (fun j -> y.(i) *. y.(j) *. Kernel.eval k x.(i) x.(j)) in
+        let problem =
+          {
+            Smo.size = 4;
+            q_row;
+            q_diag = Array.init 4 (fun i -> Kernel.eval k x.(i) x.(i));
+            p = Array.make 4 (-1.0);
+            y;
+            c = Array.make 4 10.0;
+          }
+        in
+        let sol = Smo.solve problem in
+        Alcotest.(check bool) "obj <= 0" true (sol.Smo.objective <= 1e-9));
+  ]
+
+let svc_tests =
+  [
+    Alcotest.test_case "separates linear data" `Quick (fun () ->
+        let rng = Rng.create 4 in
+        let make n =
+          Array.init n (fun _ ->
+              let a = Rng.uniform rng (-1.) 1. and b = Rng.uniform rng (-1.) 1. in
+              ([| a; b |], if a +. b > 0.1 || a +. b < -0.1 then
+                 (if a +. b > 0.0 then 1 else -1) else if Rng.bool rng then 1 else -1))
+        in
+        let data = make 200 in
+        let x = Array.map fst data and y = Array.map snd data in
+        let m = Svc.train ~c:1.0 ~kernel:Kernel.linear ~x ~y () in
+        let correct =
+          Array.fold_left
+            (fun acc (xi, yi) -> if Svc.predict m xi = yi then acc + 1 else acc)
+            0 data
+        in
+        Alcotest.(check bool) "90%+ train accuracy" true (correct > 180));
+    Alcotest.test_case "xor needs rbf" `Quick (fun () ->
+        let x = [| [| 0.; 0. |]; [| 0.; 1. |]; [| 1.; 0. |]; [| 1.; 1. |] |] in
+        let y = [| -1; 1; 1; -1 |] in
+        let m = Svc.train ~c:100.0 ~kernel:(Kernel.rbf 2.0) ~x ~y () in
+        Array.iteri
+          (fun i xi -> Alcotest.(check int) "xor" y.(i) (Svc.predict m xi))
+          x);
+    Alcotest.test_case "decision sign consistent with predict" `Quick (fun () ->
+        let x = [| [| 0. |]; [| 1. |]; [| 2. |]; [| 3. |] |] in
+        let y = [| -1; -1; 1; 1 |] in
+        let m = Svc.train ~x ~y () in
+        Array.iter
+          (fun xi ->
+            let d = Svc.decision m xi and p = Svc.predict m xi in
+            Alcotest.(check bool) "sign" true ((d >= 0.0) = (p = 1)))
+          x);
+    Alcotest.test_case "rejects bad labels" `Quick (fun () ->
+        (match Svc.train ~x:[| [| 0. |] |] ~y:[| 2 |] () with
+         | exception Invalid_argument _ -> ()
+         | _ -> Alcotest.fail "expected Invalid_argument"));
+    Alcotest.test_case "rejects single class" `Quick (fun () ->
+        (match Svc.train ~x:[| [| 0. |]; [| 1. |] |] ~y:[| 1; 1 |] () with
+         | exception Invalid_argument _ -> ()
+         | _ -> Alcotest.fail "expected Invalid_argument"));
+    Alcotest.test_case "support vectors bounded by data" `Quick (fun () ->
+        let rng = Rng.create 12 in
+        let n = 100 in
+        let x = Array.init n (fun _ -> [| Rng.uniform rng (-1.) 1. |]) in
+        let y = Array.map (fun xi -> if xi.(0) > 0.0 then 1 else -1) x in
+        let m = Svc.train ~c:1.0 ~x ~y () in
+        Alcotest.(check bool) "nsv <= n" true (Svc.n_support m <= n);
+        Alcotest.(check bool) "margin points only" true (Svc.n_support m < n));
+  ]
+
+let svr_tests =
+  [
+    Alcotest.test_case "fits a line within epsilon" `Quick (fun () ->
+        let x = Array.init 30 (fun i -> [| float_of_int i /. 10.0 |]) in
+        let y = Array.map (fun xi -> (2.0 *. xi.(0)) -. 1.0) x in
+        let m = Svr.train ~c:100.0 ~epsilon:0.05 ~kernel:Kernel.linear ~x ~y () in
+        Array.iteri
+          (fun i xi ->
+            Alcotest.(check bool) "within tube" true
+              (Float.abs (Svr.predict m xi -. y.(i)) <= 0.06))
+          x);
+    Alcotest.test_case "fits sin with rbf" `Quick (fun () ->
+        let x = Array.init 60 (fun i -> [| float_of_int i /. 60.0 *. 6.28 |]) in
+        let y = Array.map (fun xi -> sin xi.(0)) x in
+        let m = Svr.train ~c:100.0 ~epsilon:0.02 ~kernel:(Kernel.rbf 1.0) ~x ~y () in
+        let max_err =
+          Array.fold_left
+            (fun acc xi -> Float.max acc (Float.abs (Svr.predict m xi -. sin xi.(0))))
+            0.0 x
+        in
+        Alcotest.(check bool) "max err < 0.05" true (max_err < 0.05));
+    Alcotest.test_case "classifies by sign on +-1 targets" `Quick (fun () ->
+        let x = Array.init 40 (fun i -> [| float_of_int i |]) in
+        let y = Array.map (fun xi -> if xi.(0) >= 20.0 then 1.0 else -1.0) x in
+        let m = Svr.train ~c:10.0 ~epsilon:0.1 ~kernel:(Kernel.rbf 0.01) ~x ~y () in
+        let errs =
+          Array.fold_left
+            (fun acc xi ->
+              let truth = if xi.(0) >= 20.0 then 1 else -1 in
+              if Svr.classify m xi <> truth then acc + 1 else acc)
+            0 x
+        in
+        Alcotest.(check bool) "at most 2 boundary errors" true (errs <= 2));
+    Alcotest.test_case "constant target stays in tube" `Quick (fun () ->
+        let x = Array.init 10 (fun i -> [| float_of_int i |]) in
+        let y = Array.make 10 3.0 in
+        let m = Svr.train ~c:10.0 ~epsilon:0.1 ~x ~y () in
+        Alcotest.(check bool) "predicts ~3" true
+          (Float.abs (Svr.predict m [| 4.5 |] -. 3.0) <= 0.15));
+    Alcotest.test_case "rejects negative epsilon" `Quick (fun () ->
+        (match Svr.train ~epsilon:(-1.0) ~x:[| [| 0. |] |] ~y:[| 0.0 |] () with
+         | exception Invalid_argument _ -> ()
+         | _ -> Alcotest.fail "expected Invalid_argument"));
+  ]
+
+let scale_tests =
+  [
+    Alcotest.test_case "minmax maps to [0,1]" `Quick (fun () ->
+        let x = [| [| 0.0; 10.0 |]; [| 5.0; 20.0 |]; [| 10.0; 30.0 |] |] in
+        let s = Scale.fit_minmax x in
+        Alcotest.(check (array (float 1e-12))) "first row" [| 0.0; 0.0 |]
+          (Scale.apply s x.(0));
+        Alcotest.(check (array (float 1e-12))) "last row" [| 1.0; 1.0 |]
+          (Scale.apply s x.(2));
+        Alcotest.(check (array (float 1e-12))) "mid row" [| 0.5; 0.5 |]
+          (Scale.apply s x.(1)));
+    Alcotest.test_case "constant feature maps to midpoint" `Quick (fun () ->
+        let x = [| [| 7.0 |]; [| 7.0 |] |] in
+        let s = Scale.fit_minmax x in
+        Alcotest.(check (array (float 1e-12))) "mid" [| 0.5 |] (Scale.apply s x.(0)));
+    Alcotest.test_case "standard scaling zero mean unit sd" `Quick (fun () ->
+        let x = [| [| 1.0 |]; [| 2.0 |]; [| 3.0 |]; [| 4.0 |] |] in
+        let s = Scale.fit_standard x in
+        let scaled = Scale.apply_all s x in
+        let col = Array.map (fun r -> r.(0)) scaled in
+        check_close 1e-9 "mean" 0.0 (Stc_numerics.Stats.mean col);
+        check_close 1e-9 "sd" 1.0 (Stc_numerics.Stats.stddev col));
+  ]
+
+let metrics_tests =
+  [
+    Alcotest.test_case "confusion and rates" `Quick (fun () ->
+        let truth = [| 1; 1; -1; -1; 1 |] in
+        let predicted = [| 1; -1; -1; 1; 1 |] in
+        let c = Metrics_bin.confusion ~truth ~predicted in
+        Alcotest.(check int) "tp" 2 c.Metrics_bin.tp;
+        Alcotest.(check int) "fn" 1 c.Metrics_bin.fn;
+        Alcotest.(check int) "fp" 1 c.Metrics_bin.fp;
+        Alcotest.(check int) "tn" 1 c.Metrics_bin.tn;
+        check_close 1e-12 "accuracy" 0.6 (Metrics_bin.accuracy c);
+        check_close 1e-12 "precision" (2.0 /. 3.0) (Metrics_bin.precision c);
+        check_close 1e-12 "recall" (2.0 /. 3.0) (Metrics_bin.recall c));
+    Alcotest.test_case "empty-safe rates" `Quick (fun () ->
+        let c = Metrics_bin.confusion ~truth:[||] ~predicted:[||] in
+        check_close 0.0 "accuracy" 0.0 (Metrics_bin.accuracy c);
+        check_close 0.0 "f1" 0.0 (Metrics_bin.f1 c));
+  ]
+
+let cross_val_tests =
+  [
+    Alcotest.test_case "kfold partitions all indices" `Quick (fun () ->
+        let rng = Rng.create 2 in
+        let folds = Cross_val.kfold_indices rng ~n:23 ~folds:5 in
+        let all = Array.concat (Array.to_list folds) in
+        Array.sort compare all;
+        Alcotest.(check (array int)) "partition" (Array.init 23 (fun i -> i)) all);
+    Alcotest.test_case "cv accuracy high on separable data" `Quick (fun () ->
+        let rng = Rng.create 6 in
+        let n = 120 in
+        let x = Array.init n (fun _ -> [| Rng.uniform rng (-1.) 1. |]) in
+        let y = Array.map (fun xi -> if xi.(0) > 0.0 then 1 else -1) x in
+        let acc = Cross_val.svc_accuracy ~c:10.0 (Rng.create 1) ~x ~y ~folds:4 in
+        Alcotest.(check bool) "acc > 0.9" true (acc > 0.9));
+    Alcotest.test_case "grid search picks a winner" `Quick (fun () ->
+        let rng = Rng.create 8 in
+        let n = 80 in
+        let x = Array.init n (fun _ -> [| Rng.uniform rng (-1.) 1.; Rng.uniform rng (-1.) 1. |]) in
+        let y = Array.map (fun xi -> if xi.(0) *. xi.(1) > 0.0 then 1 else -1) x in
+        let r =
+          Cross_val.grid_search_svc (Rng.create 3) ~x ~y ~folds:3
+            ~cs:[| 1.0; 10.0 |] ~gammas:[| 0.5; 2.0 |]
+        in
+        Alcotest.(check bool) "reasonable accuracy" true
+          (r.Cross_val.accuracy > 0.7));
+  ]
+
+let cache_tests =
+  [
+    Alcotest.test_case "caches and evicts" `Quick (fun () ->
+        let calls = ref 0 in
+        let cache =
+          Row_cache.create ~size:10 ~row_bytes:8 ~budget_bytes:(8 * 16)
+            (fun i ->
+              incr calls;
+              [| float_of_int i |])
+        in
+        (* 16-row capacity; touch 3 rows twice: 3 misses, 3 hits *)
+        List.iter (fun i -> ignore (Row_cache.get cache i)) [ 0; 1; 2; 0; 1; 2 ];
+        Alcotest.(check int) "computed once each" 3 !calls;
+        Alcotest.(check int) "hits" 3 (Row_cache.hits cache));
+    Alcotest.test_case "eviction keeps working" `Quick (fun () ->
+        let cache =
+          Row_cache.create ~size:100 ~row_bytes:8 ~budget_bytes:(8 * 16)
+            (fun i -> [| float_of_int i |])
+        in
+        for i = 0 to 99 do
+          let r = Row_cache.get cache i in
+          Alcotest.(check (float 0.0)) "value" (float_of_int i) r.(0)
+        done);
+  ]
+
+module Platt = Stc_svm.Platt
+
+let platt_tests =
+  [
+    Alcotest.test_case "probabilities bounded and monotone" `Quick (fun () ->
+        (* clearly separated decision values: f > 0 means +1 *)
+        let decision_values = [| -3.0; -2.0; -1.0; 1.0; 2.0; 3.0 |] in
+        let labels = [| -1; -1; -1; 1; 1; 1 |] in
+        let t = Platt.fit ~decision_values ~labels in
+        let previous = ref (-1.0) in
+        List.iter
+          (fun f ->
+            let p = Platt.probability t f in
+            Alcotest.(check bool) "in (0,1)" true (p > 0.0 && p < 1.0);
+            Alcotest.(check bool) "monotone in f" true (p >= !previous);
+            previous := p)
+          [ -4.0; -2.0; 0.0; 2.0; 4.0 ]);
+    Alcotest.test_case "separating point maps near 0.5" `Quick (fun () ->
+        let rng = Rng.create 21 in
+        let decision_values = Array.init 200 (fun _ -> Rng.uniform rng (-2.0) 2.0) in
+        let labels = Array.map (fun f -> if f > 0.0 then 1 else -1) decision_values in
+        let t = Platt.fit ~decision_values ~labels in
+        let p0 = Platt.probability t 0.0 in
+        Alcotest.(check bool) "p(0) ~ 0.5" true (p0 > 0.3 && p0 < 0.7);
+        Alcotest.(check bool) "confident positive" true (Platt.probability t 2.0 > 0.8);
+        Alcotest.(check bool) "confident negative" true (Platt.probability t (-2.0) < 0.2));
+    Alcotest.test_case "noisy overlap gives soft probabilities" `Quick (fun () ->
+        let rng = Rng.create 22 in
+        let decision_values = Array.init 400 (fun _ -> Rng.uniform rng (-1.0) 1.0) in
+        let labels =
+          Array.map
+            (fun f ->
+              (* 75% agreement with the sign: noisy boundary *)
+              if Rng.float rng < 0.75 then (if f > 0.0 then 1 else -1)
+              else if f > 0.0 then -1
+              else 1)
+            decision_values
+        in
+        let t = Platt.fit ~decision_values ~labels in
+        let p1 = Platt.probability t 1.0 in
+        Alcotest.(check bool) "soft, not saturated" true (p1 > 0.55 && p1 < 0.95));
+    Alcotest.test_case "calibrated svc end to end" `Quick (fun () ->
+        let rng = Rng.create 23 in
+        let n = 200 in
+        let x = Array.init n (fun _ -> [| Rng.uniform rng (-1.) 1. |]) in
+        let y = Array.map (fun xi -> if xi.(0) > 0.0 then 1 else -1) x in
+        let m = Svc.train ~c:10.0 ~x ~y () in
+        let t = Platt.calibrate_svc m ~x ~y in
+        Alcotest.(check bool) "deep positive is confident" true
+          (Platt.probability t (Svc.decision m [| 0.8 |]) > 0.9);
+        Alcotest.(check bool) "deep negative is confident" true
+          (Platt.probability t (Svc.decision m [| -0.8 |]) < 0.1);
+        Alcotest.(check int) "classify_at threshold" 1
+          (Platt.classify_at t ~threshold:0.5 (Svc.decision m [| 0.8 |])));
+    Alcotest.test_case "length mismatch rejected" `Quick (fun () ->
+        (match Platt.fit ~decision_values:[| 1.0 |] ~labels:[| 1; -1 |] with
+         | exception Invalid_argument _ -> ()
+         | _ -> Alcotest.fail "expected Invalid_argument"));
+  ]
+
+(* SMO optimality spot-check: the solver's objective must beat random
+   feasible points of the same dual problem. *)
+let smo_optimality_tests =
+  [
+    Alcotest.test_case "solver beats random feasible alphas" `Quick (fun () ->
+        let rng = Rng.create 31 in
+        let n = 30 in
+        let x = Array.init n (fun _ -> [| Rng.uniform rng (-1.) 1.; Rng.uniform rng (-1.) 1. |]) in
+        let y = Array.init n (fun i -> if x.(i).(0) > 0.0 then 1.0 else -1.0) in
+        let k = Kernel.rbf 1.0 in
+        let q i j = y.(i) *. y.(j) *. Kernel.eval k x.(i) x.(j) in
+        let c = 5.0 in
+        let problem =
+          {
+            Smo.size = n;
+            q_row = (fun i -> Array.init n (fun j -> q i j));
+            q_diag = Array.init n (fun i -> Kernel.eval k x.(i) x.(i));
+            p = Array.make n (-1.0);
+            y;
+            c = Array.make n c;
+          }
+        in
+        let sol = Smo.solve problem in
+        let objective alpha =
+          let acc = ref 0.0 in
+          for i = 0 to n - 1 do
+            for j = 0 to n - 1 do
+              acc := !acc +. (0.5 *. alpha.(i) *. alpha.(j) *. q i j)
+            done;
+            acc := !acc -. alpha.(i)
+          done;
+          !acc
+        in
+        let solver_obj = objective sol.Smo.alpha in
+        (* random feasible points: draw, then project y.alpha back to 0 by
+           pairing a positive- and a negative-label coordinate *)
+        for _ = 1 to 20 do
+          let alpha = Array.init n (fun _ -> Rng.uniform rng 0.0 c) in
+          (* repair the equality constraint roughly: shift along a +/- pair *)
+          let dot = ref 0.0 in
+          Array.iteri (fun i a -> dot := !dot +. (y.(i) *. a)) alpha;
+          (* find adjustable coordinates *)
+          (try
+             for i = 0 to n - 1 do
+               let adjust = -. !dot *. y.(i) in
+               let target = alpha.(i) +. adjust in
+               if target >= 0.0 && target <= c then begin
+                 alpha.(i) <- target;
+                 dot := 0.0;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          if Float.abs !dot < 1e-9 then
+            Alcotest.(check bool) "no feasible point beats the solver" true
+              (objective alpha >= solver_obj -. 1e-6)
+        done);
+  ]
+
+let suites =
+  [
+    ("svm.kernel", kernel_tests);
+    ("svm.smo", smo_tests);
+    ("svm.svc", svc_tests);
+    ("svm.svr", svr_tests);
+    ("svm.scale", scale_tests);
+    ("svm.metrics", metrics_tests);
+    ("svm.cross_val", cross_val_tests);
+    ("svm.row_cache", cache_tests);
+    ("svm.platt", platt_tests);
+    ("svm.smo_optimality", smo_optimality_tests);
+  ]
