@@ -1,0 +1,24 @@
+# Convenience targets; `make check` is the tier-1 gate used by CI.
+
+.PHONY: all build check test bench examples clean
+
+all: build
+
+build:
+	dune build @all
+
+check:
+	dune build @all && dune runtest
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/floor_serving.exe
+
+clean:
+	dune clean

@@ -686,6 +686,80 @@ let microbenchmarks () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Floor serving: save/load round trip + throughput vs domain count    *)
+(* ------------------------------------------------------------------ *)
+
+let floor_serving () =
+  section "Floor serving: persisted op-amp flow, throughput vs domains";
+  let train, test = Lazy.force opamp_data in
+  let dropped = [| 0; 1; 2; 5; 6; 8; 9; 10 |] in
+  let flow = Compaction.make_flow Experiment.opamp_config train ~dropped in
+  (* serve what production would serve: the flow after a disk round trip *)
+  let flow =
+    match Stc_floor.Flow_io.to_string flow with
+    | Error e -> failwith e
+    | Ok text ->
+      Printf.printf "persisted flow: %d bytes, byte-stable %b\n"
+        (String.length text)
+        (match Stc_floor.Flow_io.of_string text with
+         | Ok reloaded -> Stc_floor.Flow_io.to_string reloaded = Ok text
+         | Error e -> failwith e);
+      (match Stc_floor.Flow_io.of_string text with
+       | Ok reloaded -> reloaded
+       | Error e -> failwith e)
+  in
+  let base_rows = Device_data.values test in
+  let n_base = Array.length base_rows in
+  let replicas = if full_scale then 200 else 100 in
+  let stream =
+    Array.init (n_base * replicas) (fun i -> base_rows.(i mod n_base))
+  in
+  Printf.printf "(%d hardware threads available to this process)\n"
+    (Domain.recommended_domain_count ());
+  let serve domains =
+    Stc_floor.Floor.with_engine
+      ~config:{ Stc_floor.Floor.batch_size = 4096; domains }
+      flow
+      (fun engine ->
+        let outcomes = Stc_floor.Floor.process engine stream in
+        ( Array.map (fun o -> o.Stc_floor.Floor.verdict) outcomes,
+          Stc_floor.Floor.stats engine ))
+  in
+  let reference, base_stats = serve 1 in
+  let base_rate =
+    float_of_int base_stats.Stc_floor.Floor.devices
+    /. base_stats.Stc_floor.Floor.elapsed_s
+  in
+  let rows =
+    List.map
+      (fun domains ->
+        let verdicts, stats =
+          if domains = 1 then (reference, base_stats) else serve domains
+        in
+        let identical =
+          Array.for_all2 Guard_band.equal_verdict verdicts reference
+        in
+        let rate =
+          float_of_int stats.Stc_floor.Floor.devices
+          /. stats.Stc_floor.Floor.elapsed_s
+        in
+        [
+          string_of_int domains;
+          string_of_int stats.Stc_floor.Floor.devices;
+          Printf.sprintf "%.3f s" stats.Stc_floor.Floor.elapsed_s;
+          Printf.sprintf "%.0f" rate;
+          Printf.sprintf "%.2fx" (rate /. base_rate);
+          (if identical then "yes" else "NO");
+        ])
+      [ 1; 2; 4 ]
+  in
+  print_string
+    (Report.table
+       ~header:[ "domains"; "devices"; "elapsed"; "devices/s"; "speedup";
+                 "verdicts = 1-domain" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
@@ -706,5 +780,6 @@ let () =
   ablation_ordering ();
   ablation_learner ();
   ablation_regression ();
+  floor_serving ();
   microbenchmarks ();
   Printf.printf "\ndone.\n"

@@ -3,7 +3,9 @@
    stc opamp  — greedy compaction of the 11 op-amp specification tests
    stc mems   — hot/cold temperature-test elimination + cost analysis
    stc sweep  — accuracy vs training-set size
-   stc specs  — print the specification tables *)
+   stc specs  — print the specification tables
+   stc train  — train an op-amp flow and persist it (with a device CSV)
+   stc serve  — reload a flow and bin a CSV of devices on the floor engine *)
 
 module Experiment = Stc.Experiment
 module Device_data = Stc.Device_data
@@ -13,6 +15,9 @@ module Cost = Stc.Cost
 module Spec = Stc.Spec
 module Order = Stc.Order
 module Report = Stc.Report
+module Flow_io = Stc_floor.Flow_io
+module Device_csv = Stc_floor.Device_csv
+module Floor = Stc_floor.Floor
 
 open Cmdliner
 
@@ -277,6 +282,143 @@ let specs_cmd =
   Cmd.v (Cmd.info "specs" ~doc:"Print the specification tables")
     Term.(const run_specs $ const ())
 
+(* ------------------------------- train ----------------------------- *)
+
+let save_flow_arg =
+  Arg.(required & opt (some string) None
+       & info [ "save-flow" ] ~docv:"FILE"
+           ~doc:"Write the trained flow (stc-flow-1 format) to $(docv).")
+
+let save_test_arg =
+  Arg.(value & opt (some string) None
+       & info [ "save-test" ] ~docv:"FILE"
+           ~doc:"Also write the held-out test population as a device CSV, \
+                 ready for $(b,stc serve --input).")
+
+let run_train seed n_train n_test tolerance guard order learner grid_resolution
+    parallel save_flow save_test =
+  Printf.printf "generating %d op-amp instances (seed %d)...\n%!"
+    (n_train + n_test) seed;
+  let train, test = Experiment.generate_opamp ~parallel ~seed ~n_train ~n_test () in
+  let config =
+    make_config Experiment.opamp_config ~tolerance ~guard ~learner
+      ~grid_resolution
+  in
+  let order =
+    match order with
+    | `Functional -> Order.Given Experiment.opamp_examination_order
+    | `Failures -> Order.By_failure_count
+    | `Correlation -> Order.By_correlation
+    | `Cluster -> Order.By_cluster 0.8
+  in
+  let result = Compaction.greedy ~order config ~train ~test in
+  let flow = result.Compaction.flow in
+  Printf.printf "kept %d of %d tests; "
+    (Array.length flow.Compaction.kept)
+    (Array.length flow.Compaction.specs);
+  print_flow_metrics flow test;
+  (match Flow_io.save ~path:save_flow flow with
+   | Ok () -> Printf.printf "flow -> %s\n" save_flow
+   | Error e ->
+     Printf.eprintf "cannot save flow: %s\n" e;
+     exit 1);
+  match save_test with
+  | None -> ()
+  | Some path ->
+    Device_csv.write ~path ~specs:(Device_data.specs test)
+      ~rows:(Device_data.values test);
+    Printf.printf "test population (%d devices) -> %s\n"
+      (Device_data.n_instances test) path
+
+let train_cmd =
+  let term =
+    Term.(const run_train $ seed $ n_train $ n_test $ tolerance $ guard $ order
+          $ learner $ grid_resolution $ parallel $ save_flow_arg $ save_test_arg)
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:"Train an op-amp compaction flow and persist it for serving")
+    term
+
+(* ------------------------------- serve ----------------------------- *)
+
+let flow_file_arg =
+  Arg.(required & opt (some string) None
+       & info [ "flow" ] ~docv:"FILE" ~doc:"Flow saved by $(b,stc train).")
+
+let input_arg =
+  Arg.(required & opt (some string) None
+       & info [ "input" ] ~docv:"CSV" ~doc:"Device measurement rows.")
+
+let batch_arg =
+  Arg.(value & opt int 256
+       & info [ "batch" ] ~docv:"N" ~doc:"Devices per dispatched batch.")
+
+let domains_arg =
+  Arg.(value & opt int 1
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains (including the caller).")
+
+let queue_guard_arg =
+  Arg.(value & flag
+       & info [ "queue-guard" ]
+           ~doc:"Bin guard-band parts Retest instead of escalating them to \
+                 the full specification test on the spot.")
+
+let run_serve flow_file input batch domains queue_guard =
+  if batch < 1 then begin
+    Printf.eprintf "--batch must be >= 1 (got %d)\n" batch;
+    exit 1
+  end;
+  if domains < 1 then begin
+    Printf.eprintf "--domains must be >= 1 (got %d)\n" domains;
+    exit 1
+  end;
+  let flow =
+    match Flow_io.load ~path:flow_file with
+    | Ok flow -> flow
+    | Error e ->
+      Printf.eprintf "cannot load flow: %s\n" e;
+      exit 1
+  in
+  let _names, rows =
+    match Device_csv.read ~path:input with
+    | Ok r -> r
+    | Error e ->
+      Printf.eprintf "cannot read devices: %s\n" e;
+      exit 1
+  in
+  let specs = flow.Compaction.specs in
+  if rows <> [||] && Array.length rows.(0) <> Array.length specs then begin
+    Printf.eprintf "input has %d columns but the flow has %d specs\n"
+      (Array.length rows.(0)) (Array.length specs);
+    exit 1
+  end;
+  Printf.printf "%d devices, %d kept of %d specs, batch %d, domains %d\n%!"
+    (Array.length rows)
+    (Array.length flow.Compaction.kept)
+    (Array.length specs) batch domains;
+  (* the full (adaptive) test: measure every spec — here the CSV already
+     carries all columns, so full test = judge the complete row *)
+  let full_test row = Array.for_all2 Spec.passes specs row in
+  let retest = if queue_guard then None else Some full_test in
+  Floor.with_engine
+    ~config:{ Floor.batch_size = batch; domains }
+    flow
+    (fun engine ->
+      let (_ : Floor.outcome array) = Floor.process ?retest engine rows in
+      print_string (Floor.report engine))
+
+let serve_cmd =
+  let term =
+    Term.(const run_serve $ flow_file_arg $ input_arg $ batch_arg $ domains_arg
+          $ queue_guard_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Bin a stream of devices with a saved flow on the floor engine")
+    term
+
 (* ------------------------------- main ------------------------------ *)
 
 let () =
@@ -284,4 +426,7 @@ let () =
     Cmd.info "stc" ~version:"1.0.0"
       ~doc:"Specification test compaction for analog circuits and MEMS"
   in
-  exit (Cmd.eval (Cmd.group info [ opamp_cmd; mems_cmd; sweep_cmd; specs_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ opamp_cmd; mems_cmd; sweep_cmd; specs_cmd; train_cmd; serve_cmd ]))

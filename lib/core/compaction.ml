@@ -65,8 +65,9 @@ let complement ~k dropped =
 let resolve_gamma gamma features =
   match gamma with Some g -> g | None -> Kernel.median_gamma features
 
-(* Train one ±1 classifier on (features, labels). Degenerate one-class
-   inputs yield a constant predictor. *)
+(* Train one ±1 classifier on (features, labels), returned with its
+   model data so flows can be serialised. Degenerate one-class inputs
+   yield a constant predictor. *)
 let train_classifier learner features labels =
   let n = Array.length labels in
   assert (n > 0);
@@ -74,21 +75,16 @@ let train_classifier learner features labels =
     let first = labels.(0) in
     Array.for_all (fun l -> l = first) labels
   in
-  if all_same then begin
-    let constant = labels.(0) in
-    fun _ -> constant
-  end
+  if all_same then Guard_band.constant labels.(0)
   else begin
     match learner with
     | Epsilon_svr { c; epsilon; gamma } ->
       let kernel = Kernel.rbf (resolve_gamma gamma features) in
       let y = Array.map float_of_int labels in
-      let model = Svr.train ~c ~epsilon ~kernel ~x:features ~y () in
-      fun v -> Svr.classify model v
+      Guard_band.Svr (Svr.train ~c ~epsilon ~kernel ~x:features ~y ())
     | C_svc { c; gamma } ->
       let kernel = Kernel.rbf (resolve_gamma gamma features) in
-      let model = Svc.train ~c ~kernel ~x:features ~y:labels () in
-      fun v -> Svc.predict model v
+      Guard_band.Svc (Svc.train ~c ~kernel ~x:features ~y:labels ())
   end
 
 let maybe_grid config features labels =
@@ -121,13 +117,13 @@ let train_predictor config data ~dropped =
   in
   let nominal = train 0.0 in
   let band =
-    if config.guard_fraction = 0.0 then Guard_band.single nominal
+    if config.guard_fraction = 0.0 then Guard_band.single_model nominal
     else
-      Guard_band.make
+      Guard_band.of_models
         ~tight:(train (-.config.guard_fraction))
         ~loose:(train config.guard_fraction)
   in
-  (band, nominal)
+  (band, Guard_band.predict nominal)
 
 let make_flow config data ~dropped =
   let k = Device_data.n_specs data in
@@ -252,7 +248,9 @@ let greedy ?(order = Order.By_failure_count) ?(eval_each = false) config ~train
       let features = Device_data.features train ~keep:kept in
       let labels = dropped_labels train ~dropped:trial ~fraction:0.0 in
       let features', labels' = maybe_grid config features labels in
-      let nominal = train_classifier config.learner features' labels' in
+      let nominal =
+        Guard_band.predict (train_classifier config.learner features' labels')
+      in
       let validation_data =
         match config.validation with
         | On_test_data -> test

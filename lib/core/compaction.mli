@@ -51,9 +51,11 @@ val identity_flow : Spec.t array -> flow
 val train_predictor : config -> Device_data.t -> dropped:int array ->
   Guard_band.t * (float array -> int)
 (** Trains the guard-band model pair and the nominal model for a given
-    dropped set. The classifiers take the *normalised kept-spec feature
-    vector*. Raises [Invalid_argument] when [dropped] is empty or not a
-    valid index set. *)
+    dropped set. The band carries its trained model data
+    ({!Guard_band.model}), so the resulting flow can be serialised with
+    [Stc_floor.Flow_io]. The classifiers take the *normalised kept-spec
+    feature vector*. Raises [Invalid_argument] when [dropped] is empty
+    or not a valid index set. *)
 
 val make_flow : config -> Device_data.t -> dropped:int array -> flow
 

@@ -2,17 +2,45 @@ type verdict = Good | Bad | Guard
 
 type classifier = float array -> int
 
+(* A ±1 predictor together with (when available) the trained model data
+   behind it, so a flow can be serialised and shipped to the floor. *)
+type model =
+  | Constant of int
+  | Svr of Stc_svm.Svr.model
+  | Svc of Stc_svm.Svc.model
+  | Opaque of classifier
+
 type t = {
-  tight : classifier;
-  loose : classifier;
+  tight : model;
+  loose : model;
 }
 
-let make ~tight ~loose = { tight; loose }
+let constant c =
+  if c <> 1 && c <> -1 then invalid_arg "Guard_band.constant: label must be +/-1";
+  Constant c
 
-let single c = { tight = c; loose = c }
+let predict m =
+  match m with
+  | Constant c -> fun _ -> c
+  | Svr svr -> Stc_svm.Svr.classify svr
+  | Svc svc -> Stc_svm.Svc.predict svc
+  | Opaque f -> f
+
+let of_models ~tight ~loose = { tight; loose }
+
+let make ~tight ~loose = { tight = Opaque tight; loose = Opaque loose }
+
+let single_model m = { tight = m; loose = m }
+
+let single c = single_model (Opaque c)
+
+let tight_model t = t.tight
+let loose_model t = t.loose
+
+let is_single t = t.tight == t.loose
 
 let classify t features =
-  let pt = t.tight features and pl = t.loose features in
+  let pt = predict t.tight features and pl = predict t.loose features in
   match (pt, pl) with
   | 1, 1 -> Good
   | -1, -1 -> Bad

@@ -10,13 +10,42 @@ type verdict = Good | Bad | Guard
 type classifier = float array -> int
 (** ±1 predictor over a feature vector. *)
 
+(** A ±1 predictor with its trained model data exposed, so guard bands
+    built from SVMs can be serialised ({!Stc_floor.Flow_io}) and shipped
+    to the production floor. [Opaque] wraps an arbitrary closure (e.g. a
+    lookup table or an adaptive-guard margin rule) and cannot be
+    serialised. *)
+type model =
+  | Constant of int           (** degenerate one-class training data *)
+  | Svr of Stc_svm.Svr.model  (** the paper's ε-SVM, classified by sign *)
+  | Svc of Stc_svm.Svc.model
+  | Opaque of classifier
+
 type t
 
+val constant : int -> model
+(** Raises [Invalid_argument] unless the label is ±1. *)
+
+val predict : model -> classifier
+
+val of_models : tight:model -> loose:model -> t
+
 val make : tight:classifier -> loose:classifier -> t
+(** Closure-only construction; the resulting band is [Opaque] on both
+    sides and cannot be serialised. *)
+
+val single_model : model -> t
 
 val single : classifier -> t
 (** Degenerate guard band: both models identical (never yields
     [Guard]); useful for ablations. *)
+
+val tight_model : t -> model
+val loose_model : t -> model
+
+val is_single : t -> bool
+(** True when both sides are physically the same model (built by
+    {!single} / {!single_model}). *)
 
 val classify : t -> float array -> verdict
 (** [Good] iff both predict +1, [Bad] iff both predict −1, else

@@ -28,7 +28,7 @@ let run ?(resolve_guard = true) flow data =
           | Guard_band.Bad -> Scrap
           | Guard_band.Guard ->
             if resolve_guard then (if truth_good then Ship else Scrap)
-            else Scrap
+            else Retest
         in
         { bin; verdict; truth_good })
   in
@@ -45,9 +45,8 @@ let run ?(resolve_guard = true) flow data =
         if not o.truth_good then incr shipped_bad
       | Scrap ->
         incr scrapped;
-        (* a guard part scrapped by choice is a policy cost, still loss *)
         if o.truth_good then incr scrapped_good
-      | Retest -> assert false)
+      | Retest -> ())
     outcomes;
   let counts =
     Metrics.tally

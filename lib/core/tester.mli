@@ -27,7 +27,9 @@ val run :
 (** Bins every instance. With [resolve_guard] (default true) guard-band
     parts are fully tested — they ship exactly when truly good, so they
     contribute no escape or loss, only retest cost. With
-    [resolve_guard:false] guard parts are scrapped conservatively. *)
+    [resolve_guard:false] guard parts stay binned [Retest] (queued for
+    the full-test station, counted in [retested]), so
+    [shipped + scrapped + retested = total]. *)
 
 val with_lookup :
   Compaction.flow -> resolution:int -> Lookup.t option

@@ -1,0 +1,68 @@
+module Spec = Stc.Spec
+
+let fp = Printf.sprintf "%.17g"
+
+let write ~path ~specs ~rows =
+  let k = Array.length specs in
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then
+        invalid_arg "Device_csv.write: row width does not match spec count")
+    rows;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        (String.concat ","
+           (Array.to_list (Array.map (fun s -> s.Spec.name) specs)));
+      output_char oc '\n';
+      Array.iter
+        (fun row ->
+          output_string oc
+            (String.concat "," (Array.to_list (Array.map fp row)));
+          output_char oc '\n')
+        rows)
+
+let read ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | text ->
+    let lines =
+      String.split_on_char '\n' text
+      |> List.map (fun l ->
+             (* tolerate CRLF input from external tools *)
+             if String.length l > 0 && l.[String.length l - 1] = '\r' then
+               String.sub l 0 (String.length l - 1)
+             else l)
+      |> List.filter (fun l -> l <> "")
+    in
+    (match lines with
+     | [] -> Error "empty CSV"
+     | header :: body ->
+       let names = Array.of_list (String.split_on_char ',' header) in
+       let k = Array.length names in
+       let rec parse_rows lineno acc = function
+         | [] -> Ok (names, Array.of_list (List.rev acc))
+         | line :: rest ->
+           let cells = String.split_on_char ',' line in
+           if List.length cells <> k then
+             Error
+               (Printf.sprintf "line %d: expected %d columns, got %d" lineno k
+                  (List.length cells))
+           else begin
+             let parsed = List.map float_of_string_opt cells in
+             if List.exists (fun v -> v = None) parsed then
+               Error (Printf.sprintf "line %d: non-numeric cell" lineno)
+             else
+               parse_rows (lineno + 1)
+                 (Array.of_list (List.map Option.get parsed) :: acc)
+                 rest
+           end
+       in
+       parse_rows 2 [] body)

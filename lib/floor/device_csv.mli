@@ -1,0 +1,13 @@
+(** Device measurement rows as CSV: one header line of spec names, then
+    one device per line, values in [%.17g] so a written population reads
+    back bit-identical. The interchange format between the tester's data
+    logger and the {!Floor} serving engine. *)
+
+val write :
+  path:string -> specs:Stc.Spec.t array -> rows:float array array -> unit
+(** Raises [Invalid_argument] on a row-width mismatch, [Sys_error] on an
+    unwritable path. *)
+
+val read : path:string -> (string array * float array array, string) result
+(** Header names and device rows. All rows must have the header's
+    width and parse as floats. *)

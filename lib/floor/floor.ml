@@ -1,0 +1,171 @@
+module Compaction = Stc.Compaction
+module Guard_band = Stc.Guard_band
+module Tester = Stc.Tester
+module Report = Stc.Report
+module Pool = Stc_process.Pool
+
+type config = {
+  batch_size : int;
+  domains : int;
+}
+
+let default_config = { batch_size = 256; domains = 1 }
+
+type outcome = {
+  bin : Tester.bin;
+  verdict : Guard_band.verdict;
+}
+
+type stats = {
+  devices : int;
+  shipped : int;
+  scrapped : int;
+  retested : int;
+  batches : int;
+  elapsed_s : float;
+  last_batch_s : float;
+}
+
+let empty_stats =
+  {
+    devices = 0;
+    shipped = 0;
+    scrapped = 0;
+    retested = 0;
+    batches = 0;
+    elapsed_s = 0.0;
+    last_batch_s = 0.0;
+  }
+
+type t = {
+  flow : Compaction.flow;
+  config : config;
+  pool : Pool.t;
+  mutable stats : stats;
+  mutable closed : bool;
+}
+
+let create ?(config = default_config) flow =
+  if config.batch_size < 1 then
+    invalid_arg "Floor.create: batch_size must be >= 1";
+  if config.domains < 1 then invalid_arg "Floor.create: domains must be >= 1";
+  {
+    flow;
+    config;
+    pool = Pool.create ~domains:config.domains;
+    stats = empty_stats;
+    closed = false;
+  }
+
+let flow t = t.flow
+let config t = t.config
+let stats t = t.stats
+let reset_stats t = t.stats <- empty_stats
+
+(* One batch: verdicts fan out across the pool (each row's verdict is a
+   pure function of the row, so scheduling cannot change it), then the
+   guard escalations run sequentially in row order on the submitting
+   domain — the retest callback stands for the full-test station and
+   need not be thread-safe. *)
+let process ?retest t rows =
+  if t.closed then invalid_arg "Floor.process: engine is shut down";
+  let k = Array.length t.flow.Compaction.specs in
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then
+        invalid_arg "Floor.process: row width does not match the flow's specs")
+    rows;
+  let n = Array.length rows in
+  let verdicts = Array.make n Guard_band.Good in
+  let out = Array.make n { bin = Tester.Ship; verdict = Guard_band.Good } in
+  let batch = t.config.batch_size in
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = Stdlib.min n (!lo + batch) in
+    let base = !lo in
+    let t0 = Unix.gettimeofday () in
+    (* rows are claimed in chunks, not singly: one verdict costs only
+       microseconds, so per-row atomic claims (and adjacent-cell verdict
+       writes from different domains) would cost more than the work *)
+    let len = hi - base in
+    let chunk = Stdlib.max 1 (Stdlib.min 64 (len / t.config.domains)) in
+    let n_chunks = (len + chunk - 1) / chunk in
+    Pool.run t.pool ~n:n_chunks (fun c ->
+        let first = base + (c * chunk) in
+        let last = Stdlib.min (hi - 1) (first + chunk - 1) in
+        for i = first to last do
+          verdicts.(i) <- Compaction.flow_verdict t.flow rows.(i)
+        done);
+    let shipped = ref 0 and scrapped = ref 0 and retested = ref 0 in
+    for i = base to hi - 1 do
+      let bin =
+        match verdicts.(i) with
+        | Guard_band.Good ->
+          incr shipped;
+          Tester.Ship
+        | Guard_band.Bad ->
+          incr scrapped;
+          Tester.Scrap
+        | Guard_band.Guard ->
+          incr retested;
+          (match retest with
+           | None -> Tester.Retest
+           | Some full_test ->
+             if full_test rows.(i) then begin
+               incr shipped;
+               Tester.Ship
+             end
+             else begin
+               incr scrapped;
+               Tester.Scrap
+             end)
+      in
+      out.(i) <- { bin; verdict = verdicts.(i) }
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    t.stats <-
+      {
+        devices = t.stats.devices + (hi - base);
+        shipped = t.stats.shipped + !shipped;
+        scrapped = t.stats.scrapped + !scrapped;
+        retested = t.stats.retested + !retested;
+        batches = t.stats.batches + 1;
+        elapsed_s = t.stats.elapsed_s +. dt;
+        last_batch_s = dt;
+      };
+    lo := hi
+  done;
+  out
+
+let throughput t =
+  if t.stats.elapsed_s <= 0.0 then 0.0
+  else float_of_int t.stats.devices /. t.stats.elapsed_s
+
+let report t =
+  let s = t.stats in
+  let pct part =
+    if s.devices = 0 then "-"
+    else Report.pct (100.0 *. float_of_int part /. float_of_int s.devices)
+  in
+  Report.table ~title:"floor engine"
+    ~header:[ "counter"; "value"; "share" ]
+    [
+      [ "devices"; string_of_int s.devices; "" ];
+      [ "shipped"; string_of_int s.shipped; pct s.shipped ];
+      [ "scrapped"; string_of_int s.scrapped; pct s.scrapped ];
+      [ "retested (guard)"; string_of_int s.retested; pct s.retested ];
+      [ "batches"; string_of_int s.batches; "" ];
+      [ "elapsed"; Printf.sprintf "%.3f s" s.elapsed_s; "" ];
+      [ "last batch"; Printf.sprintf "%.1f ms" (1000.0 *. s.last_batch_s); "" ];
+      [ "throughput"; Printf.sprintf "%.0f devices/s" (throughput t); "" ];
+    ]
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    Pool.shutdown t.pool
+  end
+
+let with_engine ?config flow f =
+  let t = create ?config flow in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

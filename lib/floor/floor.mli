@@ -1,0 +1,67 @@
+(** The test-floor serving engine: loads a compacted flow (trained by
+    {!Stc.Compaction.greedy}, persisted by {!Flow_io}) and bins a stream
+    of device measurement rows in configurable batches across a
+    persistent {!Stc_process.Pool} of worker domains.
+
+    Verdicts are bit-identical to calling
+    {!Stc.Compaction.flow_verdict} row by row, regardless of batch size
+    and domain count: each row's verdict depends only on the row, and
+    guard escalation runs in row order on the submitting domain. *)
+
+type config = {
+  batch_size : int;  (** devices classified per pool dispatch *)
+  domains : int;     (** total parallelism, incl. the calling domain *)
+}
+
+val default_config : config
+(** 256-device batches, single domain. *)
+
+type outcome = {
+  bin : Stc.Tester.bin;
+  verdict : Stc.Guard_band.verdict;
+}
+
+type stats = {
+  devices : int;
+  shipped : int;
+  scrapped : int;
+  retested : int;     (** guard verdicts routed to full test *)
+  batches : int;
+  elapsed_s : float;  (** total time spent inside {!process} batches *)
+  last_batch_s : float;
+}
+
+type t
+
+val create : ?config:config -> Stc.Compaction.flow -> t
+(** Spawns the worker pool once; reuse the engine across many calls to
+    {!process} and {!shutdown} it when the lot is finished. *)
+
+val flow : t -> Stc.Compaction.flow
+val config : t -> config
+
+val process :
+  ?retest:(float array -> bool) -> t -> float array array -> outcome array
+(** Bins each row: model-confident parts ship or scrap directly;
+    guard-band parts are escalated to [retest] — the full (adaptive)
+    specification test, [true] = part passes and ships. Without a
+    callback guard parts are binned {!Stc.Tester.Retest} for a later
+    station. Rows must have the flow's spec count (only kept columns
+    are read). Raises [Invalid_argument] on width mismatch or after
+    {!shutdown}. *)
+
+val stats : t -> stats
+(** Cumulative since creation (or the last {!reset_stats}). *)
+
+val reset_stats : t -> unit
+
+val throughput : t -> float
+(** Devices per second over the accumulated batch time. *)
+
+val report : t -> string
+(** Counter table via {!Stc.Report.table}. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains. Idempotent. *)
+
+val with_engine : ?config:config -> Stc.Compaction.flow -> (t -> 'a) -> 'a

@@ -1,0 +1,23 @@
+(** Serialisation of a full compacted flow — specs and ranges, kept and
+    dropped indices, the guard-band model pair, guard fraction — in a
+    versioned extension of {!Stc_svm.Model_io}'s flat text format, so a
+    flow trained once can be shipped to the production floor and served
+    by {!Floor}.
+
+    The format is byte-stable: for any [s] produced by {!to_string},
+    [to_string (of_string s) = Ok s], and a reloaded flow reproduces the
+    original's verdicts bit-for-bit (floats round-trip through
+    [%.17g]). Bands built from closures ({!Stc.Guard_band.Opaque}, e.g.
+    lookup-table or adaptive-guard bands) cannot be serialised and
+    yield [Error]. *)
+
+val version : string
+(** The header tag, ["stc-flow-1"]. *)
+
+val to_string : Stc.Compaction.flow -> (string, string) result
+
+val of_string : string -> (Stc.Compaction.flow, string) result
+
+val save : path:string -> Stc.Compaction.flow -> (unit, string) result
+
+val load : path:string -> (Stc.Compaction.flow, string) result

@@ -72,39 +72,26 @@ let generate_parallel ?(max_failure_ratio = 0.5) ?domains ~seed device ~n =
   let inputs = Array.make n [||] in
   let specs = Array.make n [||] in
   let failures = Atomic.make 0 in
-  let next = Atomic.make 0 in
-  let worker () =
-    let rec claim () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        (* retry draws within this instance's private sub-streams *)
-        let rec attempt_loop attempt =
-          if Atomic.get failures > max_failures then ()
-          else begin
-            let rng = instance_rng ~seed ~index:i ~attempt in
-            let params = Variation.sample_all rng device.params in
-            match device.simulate params with
-            | Some values ->
-              check_spec_count device values;
-              inputs.(i) <- params;
-              specs.(i) <- values
-            | None ->
-              Atomic.incr failures;
-              attempt_loop (attempt + 1)
-          end
-        in
-        attempt_loop 0;
-        claim ()
+  let simulate_instance i =
+    (* retry draws within this instance's private sub-streams *)
+    let rec attempt_loop attempt =
+      if Atomic.get failures > max_failures then ()
+      else begin
+        let rng = instance_rng ~seed ~index:i ~attempt in
+        let params = Variation.sample_all rng device.params in
+        match device.simulate params with
+        | Some values ->
+          check_spec_count device values;
+          inputs.(i) <- params;
+          specs.(i) <- values
+        | None ->
+          Atomic.incr failures;
+          attempt_loop (attempt + 1)
       end
     in
-    claim ()
+    attempt_loop 0
   in
-  if domains = 1 then worker ()
-  else begin
-    let handles = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join handles
-  end;
+  Pool.with_pool ~domains (fun pool -> Pool.run pool ~n simulate_instance);
   if Atomic.get failures > max_failures then
     raise
       (Too_many_failures

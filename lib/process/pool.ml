@@ -1,0 +1,125 @@
+type job = {
+  f : int -> unit;
+  n : int;
+  next : int Atomic.t;
+}
+
+type t = {
+  total : int;
+  mutex : Mutex.t;
+  start : Condition.t;
+  finished : Condition.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable running : int;        (* helpers still executing the current job *)
+  mutable error : exn option;   (* first exception raised by any task *)
+  mutable stop : bool;
+  mutable helpers : unit Domain.t array;
+}
+
+(* Work stealing by atomic index claim: any domain grabs the next
+   undone task, so load imbalance between tasks self-corrects. *)
+let exec t job =
+  let rec claim () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.n then begin
+      (try job.f i
+       with e ->
+         Mutex.lock t.mutex;
+         if t.error = None then t.error <- Some e;
+         Mutex.unlock t.mutex;
+         (* drain the remaining tasks so everyone returns promptly *)
+         Atomic.set job.next job.n);
+      claim ()
+    end
+  in
+  claim ()
+
+let helper_loop t =
+  let seen = ref 0 in
+  let live = ref true in
+  while !live do
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.generation = !seen do
+      Condition.wait t.start t.mutex
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      live := false
+    end
+    else begin
+      seen := t.generation;
+      let job = Option.get t.job in
+      Mutex.unlock t.mutex;
+      exec t job;
+      Mutex.lock t.mutex;
+      t.running <- t.running - 1;
+      if t.running = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let t =
+    {
+      total = domains;
+      mutex = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      generation = 0;
+      running = 0;
+      error = None;
+      stop = false;
+      helpers = [||];
+    }
+  in
+  t.helpers <- Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> helper_loop t));
+  t
+
+let domains t = t.total
+
+let run t ~n f =
+  if n < 0 then invalid_arg "Pool.run: n must be >= 0";
+  if t.stop then invalid_arg "Pool.run: pool is shut down";
+  if n > 0 then begin
+    let job = { f; n; next = Atomic.make 0 } in
+    Mutex.lock t.mutex;
+    if t.job <> None then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: a job is already in flight"
+    end;
+    t.error <- None;
+    t.job <- Some job;
+    t.generation <- t.generation + 1;
+    t.running <- Array.length t.helpers;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    (* the submitting domain works too: domains=1 means no helpers *)
+    exec t job;
+    Mutex.lock t.mutex;
+    while t.running > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    t.job <- None;
+    let error = t.error in
+    t.error <- None;
+    Mutex.unlock t.mutex;
+    match error with None -> () | Some e -> raise e
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.stop then begin
+    t.stop <- true;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.helpers;
+    t.helpers <- [||]
+  end
+  else Mutex.unlock t.mutex
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,36 @@
+(** A reusable multicore worker pool over OCaml 5 domains.
+
+    One pool owns [domains - 1] helper domains parked on a condition
+    variable; the submitting domain participates in every job, so
+    [domains = 1] degrades to plain sequential execution with no domain
+    spawned. Tasks are claimed by atomic index increment (work
+    stealing), so the assignment of task index to domain is
+    nondeterministic — callers must make each task's effect depend only
+    on its index (as {!Montecarlo.generate_parallel} does with
+    per-instance RNG streams) for results to be reproducible.
+
+    Generalises the hand-rolled [Domain.spawn] loop that used to live in
+    [Montecarlo]; also drives the floor serving engine's batches
+    ([Stc_floor.Floor]), which reuses one pool across many batches
+    instead of paying domain spawn latency per batch. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawns [domains - 1] helper domains immediately. Raises
+    [Invalid_argument] when [domains < 1]. *)
+
+val domains : t -> int
+(** Total parallelism including the submitting domain. *)
+
+val run : t -> n:int -> (int -> unit) -> unit
+(** [run t ~n f] executes [f 0 .. f (n-1)] across the pool and returns
+    when all have finished. If any task raises, the first exception is
+    re-raised in the submitter after the remaining tasks are drained.
+    Not reentrant: one job at a time per pool. *)
+
+val shutdown : t -> unit
+(** Joins the helper domains. Idempotent; the pool cannot be reused. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], run the callback, always [shutdown]. *)

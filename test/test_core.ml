@@ -510,13 +510,30 @@ let tester_tests =
             | _, Tester.Retest -> ())
           outcomes;
         Alcotest.(check int) "bins total" 300 (summary.Tester.shipped + summary.Tester.scrapped));
-    Alcotest.test_case "conservative guard scraps" `Quick (fun () ->
+    Alcotest.test_case "unresolved guard parts are binned Retest" `Quick
+      (fun () ->
         let train = synthetic_data 12 500 and test = synthetic_data 13 300 in
         let flow = Compaction.make_flow compaction_config train ~dropped:[| 2 |] in
         let _, s_resolve = Tester.run ~resolve_guard:true flow test in
-        let _, s_scrap = Tester.run ~resolve_guard:false flow test in
-        Alcotest.(check bool) "scrapping cannot ship more" true
-          (s_scrap.Tester.shipped <= s_resolve.Tester.shipped));
+        let outcomes, s_queue = Tester.run ~resolve_guard:false flow test in
+        Array.iter
+          (fun o ->
+            match (o.Tester.verdict, o.Tester.bin) with
+            | Guard_band.Guard, Tester.Retest -> ()
+            | Guard_band.Guard, (Tester.Ship | Tester.Scrap) ->
+              Alcotest.fail "guard part escaped the retest queue"
+            | (Guard_band.Good | Guard_band.Bad), Tester.Retest ->
+              Alcotest.fail "confident part queued for retest"
+            | (Guard_band.Good | Guard_band.Bad), (Tester.Ship | Tester.Scrap)
+              -> ())
+          outcomes;
+        Alcotest.(check int) "bins partition the lot" 300
+          (s_queue.Tester.shipped + s_queue.Tester.scrapped
+          + s_queue.Tester.retested);
+        Alcotest.(check int) "same retest volume either way"
+          s_resolve.Tester.retested s_queue.Tester.retested;
+        Alcotest.(check bool) "queueing cannot ship more" true
+          (s_queue.Tester.shipped <= s_resolve.Tester.shipped));
     Alcotest.test_case "lookup tester agrees with direct flow" `Quick (fun () ->
         let train = synthetic_data 14 500 and test = synthetic_data 15 200 in
         let flow = Compaction.make_flow compaction_config train ~dropped:[| 2 |] in

@@ -11,5 +11,6 @@ let () =
      @ Test_svm.suites
      @ Test_process.suites
      @ Test_core.suites
+     @ Test_floor.suites
      @ Test_extensions.suites
      @ Test_integration.suites)

@@ -142,8 +142,48 @@ let montecarlo_tests =
         Alcotest.(check (float 0.0)) "value" d.Montecarlo.specs.(3).(2) col.(3));
   ]
 
+let parallel_tests =
+  [
+    Alcotest.test_case "domain count does not change the dataset" `Quick
+      (fun () ->
+        let one = Montecarlo.generate_parallel ~domains:1 ~seed:11 toy_device ~n:64 in
+        let four = Montecarlo.generate_parallel ~domains:4 ~seed:11 toy_device ~n:64 in
+        Alcotest.(check int) "count" 64 (Array.length four.Montecarlo.inputs);
+        let flatten d =
+          Array.to_list (Array.map Array.to_list d.Montecarlo.inputs)
+          @ Array.to_list (Array.map Array.to_list d.Montecarlo.specs)
+        in
+        Alcotest.(check (list (list (float 0.0)))) "identical datasets"
+          (flatten one) (flatten four));
+    Alcotest.test_case "parallel retries keep determinism" `Quick (fun () ->
+        let flaky = flaky_device 1.0 in
+        let one =
+          Montecarlo.generate_parallel ~max_failure_ratio:10.0 ~domains:1
+            ~seed:3 flaky ~n:40
+        in
+        let four =
+          Montecarlo.generate_parallel ~max_failure_ratio:10.0 ~domains:4
+            ~seed:3 flaky ~n:40
+        in
+        Alcotest.(check int) "same discards" one.Montecarlo.discarded
+          four.Montecarlo.discarded;
+        Array.iteri
+          (fun i row ->
+            Alcotest.(check (float 0.0)) "same draw" row.(0)
+              four.Montecarlo.inputs.(i).(0))
+          one.Montecarlo.inputs);
+    Alcotest.test_case "parallel failure cap raises" `Quick (fun () ->
+        match
+          Montecarlo.generate_parallel ~domains:2 ~seed:1 (flaky_device 0.0)
+            ~n:30
+        with
+        | exception Montecarlo.Too_many_failures _ -> ()
+        | _ -> Alcotest.fail "expected Too_many_failures");
+  ]
+
 let suites =
   [
     ("process.variation", variation_tests);
     ("process.montecarlo", montecarlo_tests);
+    ("process.parallel", parallel_tests);
   ]
