@@ -1,6 +1,11 @@
 # Convenience targets; `make check` is the tier-1 gate used by CI.
 
-.PHONY: all build check test bench examples clean
+# Seed for the QA sweep (`make qa`); override with QA_SEED=... — it is
+# exported as QCHECK_SEED so the qcheck properties in the test suite
+# replay the same stream.
+QA_SEED ?= 2005
+
+.PHONY: all build check test bench examples qa clean
 
 all: build
 
@@ -15,6 +20,10 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+qa:
+	QCHECK_SEED=$(QA_SEED) dune runtest
+	dune exec bin/stc_cli.exe -- selftest --seed $(QA_SEED) --quiet
 
 examples:
 	dune exec examples/quickstart.exe

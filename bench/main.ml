@@ -760,6 +760,54 @@ let floor_serving () =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* QA harness: generator and differential-oracle throughput            *)
+(* ------------------------------------------------------------------ *)
+
+let qa_harness () =
+  section "QA harness: generator + differential-oracle throughput";
+  let flows = if full_scale then 400 else 100 in
+  let rows_per_flow = 16 in
+  let st = Stc_qa.Gen.state ~seed:2005 in
+  let t0 = Unix.gettimeofday () in
+  let pairs =
+    Array.init flows (fun _ -> Stc_qa.Gen.flow_with_rows ~rows_per_flow st)
+  in
+  let t_gen = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  Array.iter
+    (fun (flow, rows) ->
+      ignore (Stc_qa.Oracle.reference_outcomes flow rows))
+    pairs;
+  let t_ref = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let mismatches =
+    Array.fold_left
+      (fun acc (flow, rows) ->
+        match
+          Stc_qa.Oracle.floor_matches ~batch_sizes:[ 7 ] ~domain_counts:[ 1 ]
+            flow rows
+        with
+        | Ok () -> acc
+        | Error _ -> acc + 1)
+      0 pairs
+  in
+  let t_diff = Unix.gettimeofday () -. t0 in
+  let rate n t = if t <= 0.0 then "-" else Printf.sprintf "%.0f" (float_of_int n /. t) in
+  let n_rows = flows * rows_per_flow in
+  print_string
+    (Report.table
+       ~header:[ "stage"; "work"; "elapsed"; "rate" ]
+       [
+         [ "generate flow+rows"; string_of_int flows;
+           Printf.sprintf "%.3f s" t_gen; rate flows t_gen ^ " flows/s" ];
+         [ "reference binner"; string_of_int n_rows;
+           Printf.sprintf "%.3f s" t_ref; rate n_rows t_ref ^ " rows/s" ];
+         [ "differential check"; string_of_int flows;
+           Printf.sprintf "%.3f s" t_diff; rate flows t_diff ^ " flows/s" ];
+       ]);
+  Printf.printf "differential mismatches: %d (must be 0)\n" mismatches
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
@@ -781,5 +829,6 @@ let () =
   ablation_learner ();
   ablation_regression ();
   floor_serving ();
+  qa_harness ();
   microbenchmarks ();
   Printf.printf "\ndone.\n"

@@ -5,7 +5,8 @@
    stc sweep  — accuracy vs training-set size
    stc specs  — print the specification tables
    stc train  — train an op-amp flow and persist it (with a device CSV)
-   stc serve  — reload a flow and bin a CSV of devices on the floor engine *)
+   stc serve  — reload a flow and bin a CSV of devices on the floor engine
+   stc selftest — adversarial QA sweep: differential oracles + fault injection *)
 
 module Experiment = Stc.Experiment
 module Device_data = Stc.Device_data
@@ -419,6 +420,44 @@ let serve_cmd =
        ~doc:"Bin a stream of devices with a saved flow on the floor engine")
     term
 
+(* ----------------------------- selftest ---------------------------- *)
+
+let flows_arg =
+  Arg.(value & opt int 1000
+       & info [ "flows" ] ~docv:"N"
+           ~doc:"Generated flows for the differential oracle (the acceptance \
+                 bar is 1000).")
+
+let rows_arg =
+  Arg.(value & opt int 16
+       & info [ "rows" ] ~docv:"N" ~doc:"Device rows per generated flow.")
+
+let quiet_arg =
+  Arg.(value & flag
+       & info [ "quiet" ] ~doc:"Only print the final report table.")
+
+let run_selftest seed flows rows quiet =
+  if flows < 1 || rows < 1 then begin
+    Printf.eprintf "--flows and --rows must be >= 1\n";
+    exit 1
+  end;
+  let progress =
+    if quiet then fun _ -> ()
+    else fun line -> Printf.printf "%s\n%!" line
+  in
+  let report = Stc_qa.Selftest.run ~seed ~flows ~rows_per_flow:rows ~progress () in
+  print_string (Stc_qa.Selftest.render report);
+  if not (Stc_qa.Selftest.ok report) then exit 1
+
+let selftest_cmd =
+  let term = Term.(const run_selftest $ seed $ flows_arg $ rows_arg $ quiet_arg) in
+  Cmd.v
+    (Cmd.info "selftest"
+       ~doc:"Adversarial QA sweep: property generators, differential oracles \
+             against the floor engine and SVM solvers, serialisation round \
+             trips, and fault injection")
+    term
+
 (* ------------------------------- main ------------------------------ *)
 
 let () =
@@ -429,4 +468,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ opamp_cmd; mems_cmd; sweep_cmd; specs_cmd; train_cmd; serve_cmd ]))
+          [
+            opamp_cmd;
+            mems_cmd;
+            sweep_cmd;
+            specs_cmd;
+            train_cmd;
+            serve_cmd;
+            selftest_cmd;
+          ]))

@@ -4,10 +4,17 @@ let fp = Printf.sprintf "%.17g"
 
 let write ~path ~specs ~rows =
   let k = Array.length specs in
-  Array.iter
-    (fun row ->
+  Array.iteri
+    (fun i row ->
       if Array.length row <> k then
-        invalid_arg "Device_csv.write: row width does not match spec count")
+        invalid_arg "Device_csv.write: row width does not match spec count";
+      Array.iteri
+        (fun j v ->
+          if not (Float.is_finite v) then
+            invalid_arg
+              (Printf.sprintf
+                 "Device_csv.write: non-finite value at row %d, column %d" i j))
+        row)
     rows;
   let oc = open_out_bin path in
   Fun.protect
@@ -56,13 +63,28 @@ let read ~path =
                (Printf.sprintf "line %d: expected %d columns, got %d" lineno k
                   (List.length cells))
            else begin
-             let parsed = List.map float_of_string_opt cells in
-             if List.exists (fun v -> v = None) parsed then
-               Error (Printf.sprintf "line %d: non-numeric cell" lineno)
-             else
-               parse_rows (lineno + 1)
-                 (Array.of_list (List.map Option.get parsed) :: acc)
-                 rest
+             let row = Array.make k 0.0 in
+             let rec fill col = function
+               | [] -> Ok ()
+               | cell :: more -> (
+                 match float_of_string_opt cell with
+                 | None ->
+                   Error
+                     (Printf.sprintf "line %d, column %d: non-numeric cell %S"
+                        lineno (col + 1) cell)
+                 | Some v when not (Float.is_finite v) ->
+                   Error
+                     (Printf.sprintf
+                        "line %d, column %d: non-finite cell %S (NaN/inf \
+                         measurements are rejected)"
+                        lineno (col + 1) cell)
+                 | Some v ->
+                   row.(col) <- v;
+                   fill (col + 1) more)
+             in
+             match fill 0 cells with
+             | Error _ as e -> e
+             | Ok () -> parse_rows (lineno + 1) (row :: acc) rest
            end
        in
        parse_rows 2 [] body)

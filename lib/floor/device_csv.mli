@@ -5,9 +5,15 @@
 
 val write :
   path:string -> specs:Stc.Spec.t array -> rows:float array array -> unit
-(** Raises [Invalid_argument] on a row-width mismatch, [Sys_error] on an
-    unwritable path. *)
+(** Raises [Invalid_argument] on a row-width mismatch or a non-finite
+    cell (a NaN/inf would survive [%.17g] and poison the reader),
+    [Sys_error] on an unwritable path. *)
 
 val read : path:string -> (string array * float array array, string) result
 (** Header names and device rows. All rows must have the header's
-    width and parse as floats. *)
+    width and every cell must parse as a {e finite} float — NaN/inf
+    cells (which [float_of_string] would otherwise accept) and width
+    mismatches produce a ["line %d, column %d"]-prefixed error naming
+    the offending cell. Blank lines (including a CRLF-only line) are
+    skipped — the documented degradation for trailing newlines from
+    external loggers. *)

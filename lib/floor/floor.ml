@@ -67,7 +67,7 @@ let reset_stats t = t.stats <- empty_stats
    guard escalations run sequentially in row order on the submitting
    domain — the retest callback stands for the full-test station and
    need not be thread-safe. *)
-let process ?retest t rows =
+let process ?retest ?(strict = false) t rows =
   if t.closed then invalid_arg "Floor.process: engine is shut down";
   let k = Array.length t.flow.Compaction.specs in
   Array.iter
@@ -75,6 +75,18 @@ let process ?retest t rows =
       if Array.length row <> k then
         invalid_arg "Floor.process: row width does not match the flow's specs")
     rows;
+  if strict then
+    Array.iteri
+      (fun r row ->
+        Array.iter
+          (fun j ->
+            if not (Float.is_finite row.(j)) then
+              invalid_arg
+                (Printf.sprintf
+                   "Floor.process: non-finite measurement in row %d, spec %d" r
+                   j))
+          t.flow.Compaction.kept)
+      rows;
   let n = Array.length rows in
   let verdicts = Array.make n Guard_band.Good in
   let out = Array.make n { bin = Tester.Ship; verdict = Guard_band.Good } in

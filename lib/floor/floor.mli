@@ -41,14 +41,24 @@ val flow : t -> Stc.Compaction.flow
 val config : t -> config
 
 val process :
-  ?retest:(float array -> bool) -> t -> float array array -> outcome array
+  ?retest:(float array -> bool) ->
+  ?strict:bool ->
+  t -> float array array -> outcome array
 (** Bins each row: model-confident parts ship or scrap directly;
     guard-band parts are escalated to [retest] — the full (adaptive)
     specification test, [true] = part passes and ships. Without a
     callback guard parts are binned {!Stc.Tester.Retest} for a later
     station. Rows must have the flow's spec count (only kept columns
     are read). Raises [Invalid_argument] on width mismatch or after
-    {!shutdown}. *)
+    {!shutdown}.
+
+    Non-finite measurements (NaN/±inf, e.g. from a data-logger glitch)
+    in a kept column never pass a range check, so by default such a
+    device deterministically bins [Scrap] — a documented graceful
+    degradation verified by [Stc_qa.Faults]. Pass [~strict:true] to
+    instead reject the whole call with [Invalid_argument] before any
+    row is binned (the batch is then untouched and the engine's
+    counters do not move). *)
 
 val stats : t -> stats
 (** Cumulative since creation (or the last {!reset_stats}). *)

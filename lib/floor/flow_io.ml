@@ -136,7 +136,10 @@ type cursor = {
 
 let next_line cur =
   match cur.lines with
-  | [] -> Error "unexpected end of flow text"
+  | [] ->
+    Error
+      (Printf.sprintf "line %d: flow text is truncated (unexpected end of input)"
+         (cur.lineno + 1))
   | line :: rest ->
     cur.lines <- rest;
     cur.lineno <- cur.lineno + 1;
@@ -153,9 +156,13 @@ let expect_keyword cur key =
     Ok (String.sub line (i + 1) (String.length line - i - 1))
   | Some _ | None -> fail cur (Printf.sprintf "expected %S header" key)
 
+(* [float_of_string] happily parses "nan" and "inf"; a flow with a
+   non-finite bound or fraction can only be a corrupted file, so reject
+   it here rather than letting it poison every later verdict. *)
 let parse_float cur what s =
   match float_of_string_opt s with
-  | Some v -> Ok v
+  | Some v when Float.is_finite v -> Ok v
+  | Some _ -> fail cur (Printf.sprintf "non-finite %s %S" what s)
   | None -> fail cur (Printf.sprintf "bad %s %S" what s)
 
 let parse_int cur what s =
@@ -219,10 +226,20 @@ let of_string text =
   let cur = { lines; lineno = 0 } in
   let* header = next_line cur in
   if header <> version then
-    fail cur (Printf.sprintf "expected %S header, got %S" version header)
+    if
+      String.length header >= 9 && String.sub header 0 9 = "stc-flow-"
+    then
+      fail cur
+        (Printf.sprintf "unsupported flow version %S (this build reads %S)"
+           header version)
+    else fail cur (Printf.sprintf "expected %S header, got %S" version header)
   else
     let* guard_fraction = expect_keyword cur "guard_fraction" in
     let* guard_fraction = parse_float cur "guard_fraction" guard_fraction in
+    let* () =
+      if guard_fraction >= 0.0 && guard_fraction < 1.0 then Ok ()
+      else fail cur "guard_fraction out of range [0, 1)"
+    in
     let* measured_guard = expect_keyword cur "measured_guard" in
     let* measured_guard =
       match measured_guard with
@@ -269,6 +286,16 @@ let of_string text =
       in
       let* () = check_indices "kept" kept in
       let* () = check_indices "dropped" dropped in
+      let* () =
+        let seen = Array.make n_specs 0 in
+        Array.iter (fun i -> seen.(i) <- seen.(i) + 1) kept;
+        Array.iter (fun i -> seen.(i) <- seen.(i) + 1) dropped;
+        if Array.for_all (fun c -> c = 1) seen then Ok ()
+        else
+          fail cur
+            "kept and dropped must partition the spec indices (each spec \
+             exactly once)"
+      in
       let* band_line = next_line cur in
       let* band =
         match band_line with

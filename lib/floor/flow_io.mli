@@ -17,7 +17,16 @@ val version : string
 val to_string : Stc.Compaction.flow -> (string, string) result
 
 val of_string : string -> (Stc.Compaction.flow, string) result
+(** Errors are descriptive and ["line %d"]-prefixed: a header from a
+    newer writer reports ["unsupported flow version %S"], a file cut
+    short mid-record reports that the flow text is truncated at the
+    line where input ran out, non-finite floats (which
+    [float_of_string] would accept) are rejected, [guard_fraction]
+    must lie in [[0, 1)], and the kept/dropped index lists must
+    partition the spec indices. *)
 
 val save : path:string -> Stc.Compaction.flow -> (unit, string) result
 
 val load : path:string -> (Stc.Compaction.flow, string) result
+(** {!of_string} on the file's bytes; [Sys_error]s (missing file,
+    permissions) come back as [Error] rather than raising. *)

@@ -25,9 +25,13 @@ val domains : t -> int
 
 val run : t -> n:int -> (int -> unit) -> unit
 (** [run t ~n f] executes [f 0 .. f (n-1)] across the pool and returns
-    when all have finished. If any task raises, the first exception is
-    re-raised in the submitter after the remaining tasks are drained.
-    Not reentrant: one job at a time per pool. *)
+    when all have finished. [n = 0] is a no-op. If any task raises, the
+    first exception is re-raised in the submitter after the remaining
+    tasks are drained; the failure is not sticky — the pool stays
+    usable and the next [run] starts with a clean error slot (verified
+    by [Stc_qa.Faults.check_pool_worker_failure]). Not reentrant: one
+    job at a time per pool. Raises [Invalid_argument] after
+    {!shutdown}. *)
 
 val shutdown : t -> unit
 (** Joins the helper domains. Idempotent; the pool cannot be reused. *)

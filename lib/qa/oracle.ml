@@ -1,0 +1,339 @@
+module Spec = Stc.Spec
+module Compaction = Stc.Compaction
+module Guard_band = Stc.Guard_band
+module Tester = Stc.Tester
+module Kernel = Stc_svm.Kernel
+module Svr = Stc_svm.Svr
+module Svc = Stc_svm.Svc
+module Model_io = Stc_svm.Model_io
+module Floor = Stc_floor.Floor
+module Flow_io = Stc_floor.Flow_io
+module Device_csv = Stc_floor.Device_csv
+
+let errorf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* ----------------------- reference binner ------------------------- *)
+
+(* A from-scratch reimplementation of the flow-verdict semantics with
+   everything bound up front as closures: the perturbed ranges are
+   computed once, the band sides become two plain [float array -> int]
+   functions, and rows are binned strictly in order with no batching.
+   Shares only Spec's primitive float operations with the production
+   path, so the arithmetic is bit-identical while the control flow is
+   independent. *)
+let reference_outcomes ?retest (flow : Compaction.flow) rows =
+  let delta =
+    if flow.Compaction.measured_guard then flow.Compaction.guard_fraction
+    else 0.0
+  in
+  let kept = flow.Compaction.kept in
+  let kept_specs = Array.map (fun j -> flow.Compaction.specs.(j)) kept in
+  let loose_specs =
+    if delta = 0.0 then kept_specs
+    else Array.map (fun s -> Spec.perturb s ~fraction:delta) kept_specs
+  in
+  let tight_specs =
+    if delta = 0.0 then kept_specs
+    else Array.map (fun s -> Spec.perturb s ~fraction:(-.delta)) kept_specs
+  in
+  let model_verdict =
+    match flow.Compaction.band with
+    | None -> fun _ -> Guard_band.Good
+    | Some band ->
+      let tight = Guard_band.predict (Guard_band.tight_model band) in
+      let loose = Guard_band.predict (Guard_band.loose_model band) in
+      fun features ->
+        (match (tight features, loose features) with
+         | 1, 1 -> Guard_band.Good
+         | -1, -1 -> Guard_band.Bad
+         | 1, -1 | -1, 1 -> Guard_band.Guard
+         | _ -> invalid_arg "Oracle: classifier returned non-±1")
+  in
+  let bin_one row =
+    (* measured (kept-spec) three-way verdict *)
+    let measured = ref Guard_band.Good in
+    Array.iteri
+      (fun p j ->
+        let v = row.(j) in
+        if not (Spec.passes loose_specs.(p) v) then measured := Guard_band.Bad
+        else if
+          (not (Spec.passes tight_specs.(p) v))
+          && !measured = Guard_band.Good
+        then measured := Guard_band.Guard)
+      kept;
+    let verdict =
+      match !measured with
+      | Guard_band.Bad -> Guard_band.Bad
+      | (Guard_band.Good | Guard_band.Guard) as m ->
+        let features =
+          Array.mapi (fun p j -> Spec.normalize kept_specs.(p) row.(j)) kept
+        in
+        (match (m, model_verdict features) with
+         | Guard_band.Good, mv -> mv
+         | Guard_band.Guard, Guard_band.Bad -> Guard_band.Bad
+         | Guard_band.Guard, (Guard_band.Good | Guard_band.Guard) ->
+           Guard_band.Guard
+         | Guard_band.Bad, _ -> assert false)
+    in
+    let bin =
+      match verdict with
+      | Guard_band.Good -> Tester.Ship
+      | Guard_band.Bad -> Tester.Scrap
+      | Guard_band.Guard ->
+        (match retest with
+         | None -> Tester.Retest
+         | Some full_test -> if full_test row then Tester.Ship else Tester.Scrap)
+    in
+    { Floor.bin; verdict }
+  in
+  Array.map bin_one rows
+
+let bin_name = function
+  | Tester.Ship -> "ship"
+  | Tester.Scrap -> "scrap"
+  | Tester.Retest -> "retest"
+
+let floor_matches ?retest ~batch_sizes ~domain_counts flow rows =
+  let expected = reference_outcomes ?retest flow rows in
+  let check_config batch_size domains =
+    Floor.with_engine ~config:{ Floor.batch_size; domains } flow (fun engine ->
+        let got = Floor.process ?retest engine rows in
+        let mismatch = ref (Ok ()) in
+        Array.iteri
+          (fun i (o : Floor.outcome) ->
+            if !mismatch = Ok () then begin
+              let e = expected.(i) in
+              if
+                (not (Guard_band.equal_verdict o.Floor.verdict e.Floor.verdict))
+                || o.Floor.bin <> e.Floor.bin
+              then
+                mismatch :=
+                  errorf
+                    "batch %d, domains %d, row %d: engine %s/%s but reference \
+                     %s/%s"
+                    batch_size domains i
+                    (Guard_band.verdict_to_string o.Floor.verdict)
+                    (bin_name o.Floor.bin)
+                    (Guard_band.verdict_to_string e.Floor.verdict)
+                    (bin_name e.Floor.bin)
+            end)
+          got;
+        match !mismatch with
+        | Error _ as e -> e
+        | Ok () ->
+          let s = Floor.stats engine in
+          let n = Array.length rows in
+          if s.Floor.devices <> n then
+            errorf "batch %d, domains %d: %d devices counted, %d submitted"
+              batch_size domains s.Floor.devices n
+          else begin
+            (* with a retest callback a guard part is counted both as
+               retested and as shipped/scrapped; without one the three
+               bins partition the stream *)
+            let binned = s.Floor.shipped + s.Floor.scrapped in
+            let consistent =
+              match retest with
+              | None -> binned + s.Floor.retested = n
+              | Some _ -> binned = n
+            in
+            if consistent then Ok ()
+            else
+              errorf
+                "batch %d, domains %d: counters do not partition (%d + %d + %d \
+                 vs %d)"
+                batch_size domains s.Floor.shipped s.Floor.scrapped
+                s.Floor.retested n
+          end)
+  in
+  List.fold_left
+    (fun acc batch_size ->
+      List.fold_left
+        (fun acc domains ->
+          match acc with
+          | Error _ as e -> e
+          | Ok () -> check_config batch_size domains)
+        acc domain_counts)
+    (Ok ()) batch_sizes
+
+(* --------------------- reference SVM decision --------------------- *)
+
+let dot_ref x y =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let sqdist_ref x y =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let d = x.(i) -. y.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let kernel_ref k x y =
+  match k with
+  | Kernel.Linear -> dot_ref x y
+  | Kernel.Rbf { gamma } -> exp (-.gamma *. sqdist_ref x y)
+  | Kernel.Polynomial { gamma; coef0; degree } ->
+    let base = (gamma *. dot_ref x y) +. coef0 in
+    let acc = ref 1.0 in
+    for _ = 1 to degree do
+      acc := !acc *. base
+    done;
+    !acc
+  | Kernel.Sigmoid { gamma; coef0 } -> tanh ((gamma *. dot_ref x y) +. coef0)
+
+let raw_decision ~kernel ~sv ~coef ~b x =
+  let acc = ref b in
+  Array.iteri (fun i s -> acc := !acc +. (coef.(i) *. kernel_ref kernel s x)) sv;
+  !acc
+
+let svc_decision_ref m x =
+  let r = Svc.to_raw m in
+  raw_decision ~kernel:r.Svc.raw_kernel ~sv:r.Svc.raw_sv ~coef:r.Svc.raw_coef
+    ~b:r.Svc.raw_b x
+
+let svr_predict_ref m x =
+  let r = Svr.to_raw m in
+  raw_decision ~kernel:r.Svr.raw_kernel ~sv:r.Svr.raw_sv ~coef:r.Svr.raw_coef
+    ~b:r.Svr.raw_b x
+
+let agree ~what ~tol ~fast ~ref_ ~fast_sign ~ref_sign =
+  let scale = 1.0 +. Float.abs fast +. Float.abs ref_ in
+  if Float.abs (fast -. ref_) > tol *. scale then
+    errorf "%s decision %.17g but reference %.17g" what fast ref_
+  else if Float.abs ref_ > tol *. scale && fast_sign <> ref_sign then
+    errorf "%s classifies %+d but reference sign is %+d (f = %.17g)" what
+      fast_sign ref_sign ref_
+  else Ok ()
+
+let svc_agrees ?(tol = 1e-9) m x =
+  let ref_ = svc_decision_ref m x in
+  agree ~what:"svc" ~tol ~fast:(Svc.decision m x) ~ref_
+    ~fast_sign:(Svc.predict m x)
+    ~ref_sign:(if ref_ >= 0.0 then 1 else -1)
+
+let svr_agrees ?(tol = 1e-9) m x =
+  let ref_ = svr_predict_ref m x in
+  agree ~what:"svr" ~tol ~fast:(Svr.predict m x) ~ref_
+    ~fast_sign:(Svr.classify m x)
+    ~ref_sign:(if ref_ >= 0.0 then 1 else -1)
+
+let dual_feasible ~what ~c coef =
+  let slack = 1e-6 *. (1.0 +. c) in
+  let bad =
+    Array.to_seq coef
+    |> Seq.mapi (fun i a -> (i, a))
+    |> Seq.filter (fun (_, a) -> Float.abs a > c +. slack)
+    |> List.of_seq
+  in
+  match bad with
+  | (i, a) :: _ ->
+    errorf "%s support vector %d: |coef| = %.17g exceeds C = %g" what i
+      (Float.abs a) c
+  | [] ->
+    let sum = Array.fold_left ( +. ) 0.0 coef in
+    let scale = Array.fold_left (fun s a -> s +. Float.abs a) 1.0 coef in
+    if Float.abs sum > 1e-6 *. scale then
+      errorf "%s equality constraint violated: sum coef = %.17g" what sum
+    else Ok ()
+
+let svc_dual_feasible ~c m = dual_feasible ~what:"svc" ~c (Svc.dual_coefs m)
+
+let svr_dual_feasible ~c m =
+  dual_feasible ~what:"svr" ~c (Svr.to_raw m).Svr.raw_coef
+
+(* -------------------------- round trips --------------------------- *)
+
+let flow_roundtrips flow =
+  match Flow_io.to_string flow with
+  | Error e -> errorf "to_string failed: %s" e
+  | Ok text ->
+    (match Flow_io.of_string text with
+     | Error e -> errorf "printed flow does not parse: %s" e
+     | Ok reloaded ->
+       (match Flow_io.to_string reloaded with
+        | Error e -> errorf "reloaded flow does not print: %s" e
+        | Ok text' ->
+          if String.equal text text' then Ok ()
+          else errorf "print ∘ parse not canonical:\n--- first\n%s--- second\n%s" text text'))
+
+let flow_verdicts_survive flow rows =
+  match Flow_io.to_string flow with
+  | Error e -> errorf "to_string failed: %s" e
+  | Ok text ->
+    (match Flow_io.of_string text with
+     | Error e -> errorf "printed flow does not parse: %s" e
+     | Ok reloaded ->
+       let mismatch = ref (Ok ()) in
+       Array.iteri
+         (fun i row ->
+           if !mismatch = Ok () then begin
+             let a = Compaction.flow_verdict flow row in
+             let b = Compaction.flow_verdict reloaded row in
+             if not (Guard_band.equal_verdict a b) then
+               mismatch :=
+                 errorf "row %d: verdict %s before save, %s after reload" i
+                   (Guard_band.verdict_to_string a)
+                   (Guard_band.verdict_to_string b)
+           end)
+         rows;
+       !mismatch)
+
+let model_roundtrips ~what ~to_string ~of_string m =
+  let text = to_string m in
+  match of_string text with
+  | Error e -> errorf "printed %s model does not parse: %s" what e
+  | Ok m' ->
+    let text' = to_string m' in
+    if String.equal text text' then Ok ()
+    else errorf "%s print ∘ parse not canonical:\n%s\nvs\n%s" what text text'
+
+let svr_roundtrips m =
+  model_roundtrips ~what:"svr" ~to_string:Model_io.svr_to_string
+    ~of_string:Model_io.svr_of_string m
+
+let svc_roundtrips m =
+  model_roundtrips ~what:"svc" ~to_string:Model_io.svc_to_string
+    ~of_string:Model_io.svc_of_string m
+
+let csv_roundtrips ~specs ~rows =
+  let path = Filename.temp_file "stc_qa" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      match Device_csv.write ~path ~specs ~rows with
+      | exception Invalid_argument e -> errorf "write rejected rows: %s" e
+      | () ->
+        (match Device_csv.read ~path with
+         | Error e -> errorf "written CSV does not read: %s" e
+         | Ok (names, rows') ->
+           if Array.length names <> Array.length specs then
+             errorf "header has %d names for %d specs" (Array.length names)
+               (Array.length specs)
+           else if
+             not
+               (Array.for_all2
+                  (fun n (s : Spec.t) -> String.equal n s.Spec.name)
+                  names specs)
+           then errorf "header names differ from spec names"
+           else if Array.length rows' <> Array.length rows then
+             errorf "%d rows read back for %d written" (Array.length rows')
+               (Array.length rows)
+           else begin
+             let mismatch = ref (Ok ()) in
+             Array.iteri
+               (fun i row ->
+                 Array.iteri
+                   (fun j v ->
+                     if !mismatch = Ok () && not (Float.equal v rows'.(i).(j))
+                     then
+                       mismatch :=
+                         errorf "cell (%d, %d): wrote %.17g, read %.17g" i j v
+                           rows'.(i).(j))
+                   row)
+               rows;
+             !mismatch
+           end))

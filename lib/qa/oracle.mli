@@ -1,0 +1,94 @@
+(** Differential oracles: independent reference implementations that
+    the production code paths must agree with.
+
+    Three families:
+    - a naive reference binner — sequential, unbatched, closure-based —
+      that {!Stc_floor.Floor} must match bit-for-bit under any batch
+      size and domain count;
+    - brute-force SVM decision functions recomputed from the raw model
+      data with an independent kernel evaluation, checked against
+      {!Stc_svm.Svc}/{!Stc_svm.Svr}, plus dual-feasibility checks on
+      what the SMO solver produced;
+    - round-trip laws for {!Stc_floor.Flow_io}, {!Stc_svm.Model_io} and
+      {!Stc_floor.Device_csv}: parse ∘ print = id and
+      print ∘ parse = canonicalise.
+
+    Every check returns [(unit, string) result] with a human-readable
+    counterexample description, so qcheck failures and {!Selftest}
+    reports read the same. *)
+
+(* ----------------------- reference binner ------------------------- *)
+
+val reference_outcomes :
+  ?retest:(float array -> bool) ->
+  Stc.Compaction.flow ->
+  float array array ->
+  Stc_floor.Floor.outcome array
+(** Bins the rows one by one in order, with the flow's classifiers
+    bound once as closures — a from-scratch reimplementation of the
+    verdict semantics ({!Stc.Compaction.flow_verdict} plus
+    {!Stc_floor.Floor}'s bin mapping) sharing only the primitive float
+    operations, so a batching, scheduling, or escalation-order bug in
+    the engine cannot also hide here. *)
+
+val floor_matches :
+  ?retest:(float array -> bool) ->
+  batch_sizes:int list ->
+  domain_counts:int list ->
+  Stc.Compaction.flow ->
+  float array array ->
+  (unit, string) result
+(** Runs a fresh {!Stc_floor.Floor} engine for every batch-size ×
+    domain-count combination and demands verdicts and bins identical to
+    {!reference_outcomes}, and engine counters that partition the
+    devices. [Error] names the first mismatching configuration and
+    row. *)
+
+(* --------------------- reference SVM decision --------------------- *)
+
+val kernel_ref : Stc_svm.Kernel.t -> float array -> float array -> float
+(** Independent kernel evaluation (index loops, no shared helpers). *)
+
+val svc_decision_ref : Stc_svm.Svc.model -> float array -> float
+(** b + Σ coefᵢ·K(svᵢ, x) recomputed from {!Stc_svm.Svc.to_raw}. *)
+
+val svr_predict_ref : Stc_svm.Svr.model -> float array -> float
+
+val svc_agrees :
+  ?tol:float -> Stc_svm.Svc.model -> float array -> (unit, string) result
+(** Decision values agree within [tol] (default 1e-9, scaled by
+    magnitude) and the ±1 classifications agree whenever the decision
+    is not within [tol] of zero. *)
+
+val svr_agrees :
+  ?tol:float -> Stc_svm.Svr.model -> float array -> (unit, string) result
+
+val svc_dual_feasible :
+  c:float -> Stc_svm.Svc.model -> (unit, string) result
+(** The trained dual coefficients satisfy the box constraint
+    |yᵢαᵢ| ≤ C and the equality constraint Σ yᵢαᵢ = 0 — what any
+    correct SMO fixed point must satisfy, independent of the
+    working-set strategy. *)
+
+val svr_dual_feasible :
+  c:float -> Stc_svm.Svr.model -> (unit, string) result
+(** Each net coefficient [alpha_i - alpha_i'] lies in [[-C, C]] and
+    they sum to zero. *)
+
+(* -------------------------- round trips --------------------------- *)
+
+val flow_roundtrips : Stc.Compaction.flow -> (unit, string) result
+(** print → parse → print is byte-identical (the format's canonicality
+    law). *)
+
+val flow_verdicts_survive :
+  Stc.Compaction.flow -> float array array -> (unit, string) result
+(** The reloaded flow reproduces every row's verdict bit-for-bit. *)
+
+val svr_roundtrips : Stc_svm.Svr.model -> (unit, string) result
+val svc_roundtrips : Stc_svm.Svc.model -> (unit, string) result
+
+val csv_roundtrips :
+  specs:Stc.Spec.t array -> rows:float array array -> (unit, string) result
+(** Writes to a fresh temp file, reads back, demands bit-identical
+    cells and header names; the temp file is always removed. *)

@@ -1,0 +1,190 @@
+module Report = Stc.Report
+module Rng = Stc_numerics.Rng
+
+type section = {
+  name : string;
+  cases : int;
+  failures : int;
+  detail : string;
+  elapsed_s : float;
+}
+
+type report = {
+  seed : int;
+  sections : section list;
+}
+
+(* Each section folds a check over [cases] generated instances,
+   recording the first counterexample but still counting the rest, so
+   one bad case does not hide how widespread the breakage is. *)
+let section ~name ~cases check =
+  let t0 = Unix.gettimeofday () in
+  let failures = ref 0 in
+  let detail = ref "" in
+  for i = 0 to cases - 1 do
+    match check i with
+    | Ok () -> ()
+    | Error e ->
+      incr failures;
+      if !detail = "" then detail := Printf.sprintf "case %d: %s" i e
+    | exception e ->
+      incr failures;
+      if !detail = "" then
+        detail := Printf.sprintf "case %d raised %s" i (Printexc.to_string e)
+  done;
+  {
+    name;
+    cases;
+    failures = !failures;
+    detail = (if !detail = "" then "ok" else !detail);
+    elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+let batch_sizes = [ 1; 7; 64 ]
+let domain_counts = [ 1; 4 ]
+
+let run ?(seed = 2005) ?(flows = 1000) ?(rows_per_flow = 16)
+    ?(progress = fun _ -> ()) () =
+  let st = Gen.state ~seed in
+  let rng = Rng.create seed in
+  let flow_pool =
+    Array.init (Stdlib.max 1 (flows / 10)) (fun _ ->
+        Gen.flow_with_rows ~rows_per_flow st)
+  in
+  let next_pooled i = flow_pool.(i mod Array.length flow_pool) in
+  let sections = ref [] in
+  let push s =
+    progress
+      (Printf.sprintf "%-28s %4d cases, %d failures (%.2f s)" s.name s.cases
+         s.failures s.elapsed_s);
+    sections := s :: !sections
+  in
+
+  (* 1. the acceptance bar: Floor vs the naive reference binner over
+     every batch-size × domain-count combination, with and without a
+     retest callback *)
+  push
+    (section ~name:"floor differential oracle" ~cases:flows (fun i ->
+         let flow, rows = Gen.flow_with_rows ~rows_per_flow st in
+         let retest =
+           (* deterministic full-test stand-in: judge the complete row *)
+           if i mod 2 = 0 then None
+           else
+             Some
+               (fun row ->
+                 Array.for_all2 Stc.Spec.passes flow.Stc.Compaction.specs row)
+         in
+         Oracle.floor_matches ?retest ~batch_sizes ~domain_counts flow rows));
+
+  (* 2. persistence: print/parse/print canonicality and verdict
+     stability across the disk format *)
+  push
+    (section ~name:"flow round trips" ~cases:flows (fun i ->
+         let flow, rows = next_pooled i in
+         match Oracle.flow_roundtrips flow with
+         | Error _ as e -> e
+         | Ok () -> Oracle.flow_verdicts_survive flow rows));
+
+  (* 3. model serialisation and the brute-force decision oracle *)
+  push
+    (section ~name:"svm decision oracle" ~cases:(Stdlib.max 50 (flows / 4))
+       (fun _ ->
+         let dim = 1 + Rng.int rng 5 in
+         let probe =
+           Array.init dim (fun _ -> Rng.uniform rng (-1.5) 2.5)
+         in
+         let svr = Gen.svr ~dim st and svc = Gen.svc ~dim st in
+         let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+         let* () = Oracle.svr_agrees svr probe in
+         let* () = Oracle.svc_agrees svc probe in
+         let* () = Oracle.svr_roundtrips svr in
+         Oracle.svc_roundtrips svc));
+
+  push
+    (section ~name:"smo dual feasibility" ~cases:12 (fun _ ->
+         let dim = 1 + Rng.int rng 3 in
+         let c_svc, svc = Gen.trained_svc ~dim ~n:40 st in
+         let c_svr, svr = Gen.trained_svr ~dim ~n:40 st in
+         let probe = Array.init dim (fun _ -> Rng.uniform rng (-0.5) 1.5) in
+         let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+         let* () = Oracle.svc_dual_feasible ~c:c_svc svc in
+         let* () = Oracle.svr_dual_feasible ~c:c_svr svr in
+         let* () = Oracle.svc_agrees svc probe in
+         Oracle.svr_agrees svr probe));
+
+  (* 4. CSV interchange *)
+  push
+    (section ~name:"device CSV round trips" ~cases:(Stdlib.max 20 (flows / 20))
+       (fun _ ->
+         let specs = Gen.specs () st in
+         let rows = Gen.rows specs ~n:(1 + Rng.int rng 20) st in
+         Oracle.csv_roundtrips ~specs ~rows));
+
+  (* 5. fault injection *)
+  push
+    (section ~name:"fault: corrupted flows" ~cases:(Stdlib.max 5 (flows / 50))
+       (fun i ->
+         let flow, _ = next_pooled i in
+         match Faults.check_flow_corruption rng ~trials:20 flow with
+         | Ok (_rejected, _accepted) -> Ok ()
+         | Error _ as e -> e));
+
+  push
+    (section ~name:"fault: version skew" ~cases:5 (fun i ->
+         let flow, _ = next_pooled i in
+         Faults.check_version_skew flow));
+
+  push
+    (section ~name:"fault: bad device rows" ~cases:(Stdlib.max 5 (flows / 50))
+       (fun i ->
+         let flow, rows = next_pooled i in
+         let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+         let* () =
+           Faults.check_csv_rejects_bad_rows rng ~trials:10
+             ~specs:flow.Stc.Compaction.specs ~rows
+         in
+         Faults.check_floor_bad_rows rng ~trials:10 flow));
+
+  push
+    (section ~name:"fault: pool workers" ~cases:4 (fun i ->
+         let domains = if i mod 2 = 0 then 1 else 4 in
+         let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+         let* () = Faults.check_pool_worker_failure ~domains in
+         let* () = Faults.check_pool_worker_delay ~domains ~delay_s:0.02 in
+         Faults.check_pool_misuse ()));
+
+  { seed; sections = List.rev !sections }
+
+let ok r = List.for_all (fun s -> s.failures = 0) r.sections
+
+let render r =
+  let rows =
+    List.map
+      (fun s ->
+        [
+          s.name;
+          string_of_int s.cases;
+          (if s.failures = 0 then "pass" else Printf.sprintf "%d FAIL" s.failures);
+          Printf.sprintf "%.2f s" s.elapsed_s;
+        ])
+      r.sections
+  in
+  let table =
+    Report.table
+      ~title:(Printf.sprintf "stc selftest (seed %d)" r.seed)
+      ~header:[ "section"; "cases"; "result"; "time" ]
+      rows
+  in
+  let failures =
+    List.filter_map
+      (fun s -> if s.failures = 0 then None else Some (s.name ^ ": " ^ s.detail))
+      r.sections
+  in
+  let verdict =
+    if failures = [] then "selftest: all sections passed\n"
+    else
+      Printf.sprintf "selftest: FAILURES (reproduce with --seed %d)\n%s\n"
+        r.seed
+        (String.concat "\n" (List.map (fun f -> "  " ^ f) failures))
+  in
+  table ^ verdict

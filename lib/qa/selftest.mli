@@ -1,0 +1,39 @@
+(** The one-command QA sweep behind [stc selftest] and [make qa]:
+    replays every property and fault class — the floor differential
+    oracle, SVM decision oracles and dual-feasibility, serialisation
+    round trips, and the {!Faults} injection suite — from a single
+    seed, and reports per-section pass/fail counts.
+
+    The default scale (1000 flows × {1, 7, 64} batch sizes × {1, 4}
+    domain counts) is the acceptance bar for serving-path changes:
+    run it before and after touching [Stc_floor], [Stc_svm.Smo] or
+    [Stc_process.Pool]. *)
+
+type section = {
+  name : string;
+  cases : int;          (** property instances or fault trials run *)
+  failures : int;
+  detail : string;      (** first counterexample, or a short summary *)
+  elapsed_s : float;
+}
+
+type report = {
+  seed : int;
+  sections : section list;
+}
+
+val run :
+  ?seed:int ->
+  ?flows:int ->
+  ?rows_per_flow:int ->
+  ?progress:(string -> unit) ->
+  unit ->
+  report
+(** Defaults: [seed = 2005], [flows = 1000], [rows_per_flow = 16],
+    no progress output. Every failure detail embeds the seed so the run
+    reproduces exactly. *)
+
+val ok : report -> bool
+
+val render : report -> string
+(** A {!Stc.Report.table} of section results plus a verdict line. *)

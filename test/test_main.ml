@@ -13,4 +13,5 @@ let () =
      @ Test_core.suites
      @ Test_floor.suites
      @ Test_extensions.suites
-     @ Test_integration.suites)
+     @ Test_integration.suites
+     @ Test_qa.suites)

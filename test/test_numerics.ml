@@ -345,6 +345,65 @@ let interp_tests =
            Float.abs (lhs -. rhs) <= 1e-6 *. (1.0 +. Float.abs rhs)));
   ]
 
+(* Properties over randomly generated instances (the deterministic unit
+   tests above pin specific values; these pin laws). *)
+let close a b = Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs b)
+
+let property_tests =
+  [
+    qtest
+      (QCheck.Test.make ~name:"lu solves diagonally dominant systems" ~count:100
+         QCheck.(pair (int_range 1 8) (int_range 0 10_000))
+         (fun (n, seed) ->
+           let rng = Rng.create ((seed * 7919) + 11) in
+           let a =
+             Mat.init n n (fun i j ->
+                 if i = j then 0.0 else Rng.uniform rng (-1.0) 1.0)
+           in
+           (* strict dominance keeps the condition number small, so the
+              residual bound below is honest rather than generous *)
+           for i = 0 to n - 1 do
+             let s = ref 0.0 in
+             for j = 0 to n - 1 do
+               s := !s +. Float.abs (Mat.get a i j)
+             done;
+             Mat.set a i i (!s +. 1.0 +. Rng.float rng)
+           done;
+           let b = Vec.init n (fun _ -> Rng.uniform rng (-5.0) 5.0) in
+           let x = Lu.solve_system a b in
+           let r = Vec.sub (Mat.mul_vec a x) b in
+           Vec.norm_inf r <= 1e-10 *. (1.0 +. Vec.norm_inf b)));
+    qtest
+      (QCheck.Test.make ~name:"stats mean/variance match naive two-pass"
+         ~count:200
+         QCheck.(
+           array_of_size (Gen.int_range 2 50) (float_range (-100.0) 100.0))
+         (fun xs ->
+           let n = float_of_int (Array.length xs) in
+           let m = Array.fold_left ( +. ) 0.0 xs /. n in
+           let v =
+             Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+             /. (n -. 1.0)
+           in
+           close (Stats.mean xs) m && close (Stats.variance xs) v));
+    qtest
+      (QCheck.Test.make ~name:"rng split streams are deterministic" ~count:100
+         QCheck.(pair (int_range 0 100_000) (int_range 2 5))
+         (fun (seed, n_splits) ->
+           let draw () =
+             let root = Rng.create seed in
+             let streams = Array.init n_splits (fun _ -> Rng.split root) in
+             ( Array.map
+                 (fun s -> Array.init 8 (fun _ -> Rng.uint64 s))
+                 streams,
+               Array.init 4 (fun _ -> Rng.uint64 root) )
+           in
+           let a = draw () and b = draw () in
+           (* replaying the seed reproduces every sub-stream AND leaves
+              the parent at the same point; sibling streams differ *)
+           a = b && fst a |> fun streams -> streams.(0) <> streams.(1)));
+  ]
+
 let suites =
   [
     ("numerics.vec", vec_tests);
@@ -355,4 +414,5 @@ let suites =
     ("numerics.ode", ode_tests);
     ("numerics.roots", roots_tests);
     ("numerics.interp_poly", interp_tests);
+    ("numerics.properties", property_tests);
   ]
