@@ -5,7 +5,7 @@
 # replay the same stream.
 QA_SEED ?= 2005
 
-.PHONY: all build check test bench examples qa clean
+.PHONY: all build check test bench examples qa ci clean
 
 all: build
 
@@ -24,6 +24,13 @@ bench:
 qa:
 	QCHECK_SEED=$(QA_SEED) dune runtest
 	dune exec bin/stc_cli.exe -- selftest --seed $(QA_SEED) --quiet
+
+# Everything the CI workflow runs: build, tier-1 tests, then the QA
+# sweep (qcheck properties + `stc selftest`) under the pinned seed.
+ci:
+	dune build @all
+	dune runtest
+	$(MAKE) qa
 
 examples:
 	dune exec examples/quickstart.exe

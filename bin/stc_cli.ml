@@ -16,11 +16,28 @@ module Cost = Stc.Cost
 module Spec = Stc.Spec
 module Order = Stc.Order
 module Report = Stc.Report
+module Journal = Stc.Journal
 module Flow_io = Stc_floor.Flow_io
 module Device_csv = Stc_floor.Device_csv
 module Floor = Stc_floor.Floor
 
 open Cmdliner
+
+(* Data errors — a corrupt flow file, a bad CSV, an unusable journal —
+   are the operator's problem, not a crash: one clean line on stderr,
+   exit code 2 (1 is reserved for genuine failures like a failing
+   selftest, and cmdliner uses 124+ for usage errors). *)
+let die_data fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "stc: %s\n" s;
+      exit 2)
+    fmt
+
+let guard_data_errors f =
+  try f () with
+  | Sys_error e -> die_data "%s" e
+  | Failure e -> die_data "%s" e
 
 (* ------------------------------ options --------------------------- *)
 
@@ -93,6 +110,80 @@ let parallel =
                  (deterministic per seed, but a different stream than the \
                  sequential generator).")
 
+let journal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Write-ahead journal for the greedy loop (stc-journal-1 \
+                 format): every accept/reject decision and its trained \
+                 model is flushed to $(docv) before the loop advances, so \
+                 a killed run can continue with $(b,--resume) instead of \
+                 retraining.")
+
+let resume_arg =
+  Arg.(value & flag
+       & info [ "resume" ]
+           ~doc:"Replay the decisions recorded in $(b,--journal) and \
+                 continue from the first unjournaled candidate. The \
+                 resumed run produces a flow bit-identical to an \
+                 uninterrupted one; a journal from a different config, \
+                 population, or order is rejected.")
+
+(* The journalled greedy loop behind --journal/--resume. The journal is
+   bound to this exact run by its fingerprint, so resuming against
+   changed data or flags dies cleanly instead of silently diverging. *)
+let greedy_with_journal ~journal ~resume ~order config ~train ~test =
+  match journal with
+  | None ->
+    if resume then die_data "--resume requires --journal FILE";
+    Compaction.greedy ~order config ~train ~test
+  | Some path ->
+    let examination = Order.compute order train in
+    let fingerprint =
+      Compaction.journal_fingerprint config ~train ~test ~order:examination
+    in
+    let fresh () =
+      match Journal.create ~path ~fingerprint with
+      | Error e -> die_data "cannot create journal %s: %s" path e
+      | Ok w ->
+        Fun.protect
+          ~finally:(fun () -> Journal.close w)
+          (fun () ->
+            Compaction.greedy_resumable ~order ~journal:w config ~train ~test)
+    in
+    if not resume then fresh ()
+    else if not (Sys.file_exists path) then begin
+      Printf.printf "journal %s does not exist yet: starting fresh\n%!" path;
+      fresh ()
+    end
+    else begin
+      match Journal.load ~path with
+      | Error e -> die_data "cannot resume journal %s: %s" path e
+      | Ok r ->
+        if r.Journal.fingerprint <> fingerprint then
+          die_data
+            "journal %s was written for a different run (config, seed, \
+             population, or order changed)"
+            path;
+        let n = Array.length r.Journal.entries in
+        if r.Journal.complete then begin
+          Printf.printf "journal %s is complete: replaying all %d steps\n%!"
+            path n;
+          Compaction.greedy_resumable ~order ~replay:r.Journal.entries config
+            ~train ~test
+        end
+        else begin
+          Printf.printf "resuming %s: replaying %d journaled steps\n%!" path n;
+          match Journal.open_append ~path ~fingerprint with
+          | Error e -> die_data "cannot append to journal %s: %s" path e
+          | Ok w ->
+            Fun.protect
+              ~finally:(fun () -> Journal.close w)
+              (fun () ->
+                Compaction.greedy_resumable ~order ~journal:w
+                  ~replay:r.Journal.entries config ~train ~test)
+        end
+    end
+
 let make_config (base : Compaction.config) ~tolerance ~guard ~learner
     ~grid_resolution =
   let learner =
@@ -126,7 +217,8 @@ let print_flow_metrics flow test =
 (* ------------------------------ opamp ----------------------------- *)
 
 let run_opamp seed n_train n_test tolerance guard order learner grid_resolution
-    parallel =
+    parallel journal resume =
+  guard_data_errors @@ fun () ->
   Printf.printf "generating %d op-amp instances (seed %d)...\n%!"
     (n_train + n_test) seed;
   let train, test = Experiment.generate_opamp ~parallel ~seed ~n_train ~n_test () in
@@ -144,7 +236,7 @@ let run_opamp seed n_train n_test tolerance guard order learner grid_resolution
     | `Correlation -> Order.By_correlation
     | `Cluster -> Order.By_cluster 0.8
   in
-  let result = Compaction.greedy ~order config ~train ~test in
+  let result = greedy_with_journal ~journal ~resume ~order config ~train ~test in
   let specs = Device_data.specs train in
   List.iter
     (fun s ->
@@ -161,7 +253,7 @@ let run_opamp seed n_train n_test tolerance guard order learner grid_resolution
 let opamp_cmd =
   let term =
     Term.(const run_opamp $ seed $ n_train $ n_test $ tolerance $ guard $ order
-          $ learner $ grid_resolution $ parallel)
+          $ learner $ grid_resolution $ parallel $ journal_arg $ resume_arg)
   in
   Cmd.v (Cmd.info "opamp" ~doc:"Greedy compaction of the op-amp test set") term
 
@@ -297,7 +389,8 @@ let save_test_arg =
                  ready for $(b,stc serve --input).")
 
 let run_train seed n_train n_test tolerance guard order learner grid_resolution
-    parallel save_flow save_test =
+    parallel save_flow save_test journal resume =
+  guard_data_errors @@ fun () ->
   Printf.printf "generating %d op-amp instances (seed %d)...\n%!"
     (n_train + n_test) seed;
   let train, test = Experiment.generate_opamp ~parallel ~seed ~n_train ~n_test () in
@@ -312,7 +405,7 @@ let run_train seed n_train n_test tolerance guard order learner grid_resolution
     | `Correlation -> Order.By_correlation
     | `Cluster -> Order.By_cluster 0.8
   in
-  let result = Compaction.greedy ~order config ~train ~test in
+  let result = greedy_with_journal ~journal ~resume ~order config ~train ~test in
   let flow = result.Compaction.flow in
   Printf.printf "kept %d of %d tests; "
     (Array.length flow.Compaction.kept)
@@ -320,9 +413,7 @@ let run_train seed n_train n_test tolerance guard order learner grid_resolution
   print_flow_metrics flow test;
   (match Flow_io.save ~path:save_flow flow with
    | Ok () -> Printf.printf "flow -> %s\n" save_flow
-   | Error e ->
-     Printf.eprintf "cannot save flow: %s\n" e;
-     exit 1);
+   | Error e -> die_data "cannot save flow: %s" e);
   match save_test with
   | None -> ()
   | Some path ->
@@ -334,7 +425,8 @@ let run_train seed n_train n_test tolerance guard order learner grid_resolution
 let train_cmd =
   let term =
     Term.(const run_train $ seed $ n_train $ n_test $ tolerance $ guard $ order
-          $ learner $ grid_resolution $ parallel $ save_flow_arg $ save_test_arg)
+          $ learner $ grid_resolution $ parallel $ save_flow_arg $ save_test_arg
+          $ journal_arg $ resume_arg)
   in
   Cmd.v
     (Cmd.info "train"
@@ -366,7 +458,16 @@ let queue_guard_arg =
            ~doc:"Bin guard-band parts Retest instead of escalating them to \
                  the full specification test on the spot.")
 
-let run_serve flow_file input batch domains queue_guard =
+let batch_deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "batch-deadline" ] ~docv:"SECONDS"
+           ~doc:"Bound each batch's guard-escalation phase: once a batch \
+                 has run this long, its remaining guard parts are binned \
+                 Retest (counted as degraded) instead of waiting on more \
+                 full-test calls.")
+
+let run_serve flow_file input batch domains queue_guard batch_deadline =
+  guard_data_errors @@ fun () ->
   if batch < 1 then begin
     Printf.eprintf "--batch must be >= 1 (got %d)\n" batch;
     exit 1
@@ -375,26 +476,25 @@ let run_serve flow_file input batch domains queue_guard =
     Printf.eprintf "--domains must be >= 1 (got %d)\n" domains;
     exit 1
   end;
+  (match batch_deadline with
+   | Some d when d <= 0.0 ->
+     Printf.eprintf "--batch-deadline must be positive (got %g)\n" d;
+     exit 1
+   | _ -> ());
   let flow =
     match Flow_io.load ~path:flow_file with
     | Ok flow -> flow
-    | Error e ->
-      Printf.eprintf "cannot load flow: %s\n" e;
-      exit 1
+    | Error e -> die_data "cannot load flow %s: %s" flow_file e
   in
   let _names, rows =
     match Device_csv.read ~path:input with
     | Ok r -> r
-    | Error e ->
-      Printf.eprintf "cannot read devices: %s\n" e;
-      exit 1
+    | Error e -> die_data "cannot read devices from %s: %s" input e
   in
   let specs = flow.Compaction.specs in
-  if rows <> [||] && Array.length rows.(0) <> Array.length specs then begin
-    Printf.eprintf "input has %d columns but the flow has %d specs\n"
+  if rows <> [||] && Array.length rows.(0) <> Array.length specs then
+    die_data "input %s has %d columns but the flow has %d specs" input
       (Array.length rows.(0)) (Array.length specs);
-    exit 1
-  end;
   Printf.printf "%d devices, %d kept of %d specs, batch %d, domains %d\n%!"
     (Array.length rows)
     (Array.length flow.Compaction.kept)
@@ -407,13 +507,15 @@ let run_serve flow_file input batch domains queue_guard =
     ~config:{ Floor.batch_size = batch; domains }
     flow
     (fun engine ->
-      let (_ : Floor.outcome array) = Floor.process ?retest engine rows in
+      let (_ : Floor.outcome array) =
+        Floor.process ?retest ?batch_deadline_s:batch_deadline engine rows
+      in
       print_string (Floor.report engine))
 
 let serve_cmd =
   let term =
     Term.(const run_serve $ flow_file_arg $ input_arg $ batch_arg $ domains_arg
-          $ queue_guard_arg)
+          $ queue_guard_arg $ batch_deadline_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -437,6 +539,7 @@ let quiet_arg =
        & info [ "quiet" ] ~doc:"Only print the final report table.")
 
 let run_selftest seed flows rows quiet =
+  guard_data_errors @@ fun () ->
   if flows < 1 || rows < 1 then begin
     Printf.eprintf "--flows and --rows must be >= 1\n";
     exit 1

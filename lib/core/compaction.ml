@@ -235,29 +235,118 @@ let eliminate config ~train ~test ~dropped =
   let flow = make_flow config train ~dropped in
   (evaluate_flow flow test, flow)
 
-let greedy ?(order = Order.By_failure_count) ?(eval_each = false) config ~train
-    ~test =
+(* Canonical byte string covering everything a greedy decision can
+   depend on: the config, the examination order, and both populations
+   (under [On_test_data] the accept/reject decisions read the test
+   data, so it must bind the journal too). *)
+let journal_fingerprint config ~train ~test ~order =
+  let b = Buffer.create 8192 in
+  let adds s =
+    Buffer.add_string b s;
+    Buffer.add_char b ' '
+  in
+  let addf v = adds (Printf.sprintf "%.17g" v) in
+  let addi i = adds (string_of_int i) in
+  (match config.learner with
+   | Epsilon_svr { c; epsilon; gamma } ->
+     adds "svr";
+     addf c;
+     addf epsilon;
+     (match gamma with None -> adds "auto" | Some g -> addf g)
+   | C_svc { c; gamma } ->
+     adds "svc";
+     addf c;
+     (match gamma with None -> adds "auto" | Some g -> addf g));
+  addf config.tolerance;
+  addf config.guard_fraction;
+  (match config.grid with
+   | None -> adds "nogrid"
+   | Some g ->
+     adds "grid";
+     addi g.Grid_compact.resolution;
+     addf g.Grid_compact.clip_lo;
+     addf g.Grid_compact.clip_hi);
+  adds (if config.measured_guard then "mg1" else "mg0");
+  adds
+    (match config.validation with
+     | On_test_data -> "vtest"
+     | On_train_data -> "vtrain");
+  adds "order";
+  Array.iter addi order;
+  let add_population data =
+    Array.iter
+      (fun (s : Spec.t) ->
+        adds s.Spec.name;
+        adds s.Spec.unit_label;
+        addf s.Spec.nominal;
+        addf s.Spec.range.Spec.lower;
+        addf s.Spec.range.Spec.upper)
+      (Device_data.specs data);
+    Array.iter (Array.iter addf) (Device_data.values data)
+  in
+  adds "train";
+  add_population train;
+  adds "test";
+  add_population test;
+  Journal.fingerprint_hex (Buffer.contents b)
+
+let greedy_resumable ?(order = Order.By_failure_count) ?(eval_each = false)
+    ?journal ?(replay = [||]) config ~train ~test =
   let k = Device_data.n_specs train in
   let examination = Order.compute order train in
+  if Array.length replay > Array.length examination then
+    invalid_arg
+      (Printf.sprintf
+         "Compaction.greedy_resumable: journal has %d steps but this run \
+          examines only %d specs"
+         (Array.length replay) (Array.length examination));
+  let journal_write what = function
+    | Ok () -> ()
+    | Error e ->
+      failwith (Printf.sprintf "Compaction.greedy_resumable: %s: %s" what e)
+  in
   let dropped = ref [] in
   let steps = ref [] in
-  Array.iter
-    (fun candidate ->
-      let trial = Array.of_list (List.rev (candidate :: !dropped)) in
-      let kept = complement ~k trial in
-      let features = Device_data.features train ~keep:kept in
-      let labels = dropped_labels train ~dropped:trial ~fraction:0.0 in
-      let features', labels' = maybe_grid config features labels in
-      let nominal =
-        Guard_band.predict (train_classifier config.learner features' labels')
+  Array.iteri
+    (fun i candidate ->
+      let accepted, error =
+        if i < Array.length replay then begin
+          (* journaled decision: skip the training entirely *)
+          let e = replay.(i) in
+          if e.Journal.spec_index <> candidate then
+            invalid_arg
+              (Printf.sprintf
+                 "Compaction.greedy_resumable: journal step %d examined spec \
+                  %d but this run examines spec %d (order or data mismatch)"
+                 i e.Journal.spec_index candidate);
+          (e.Journal.accepted, e.Journal.error)
+        end
+        else begin
+          let trial = Array.of_list (List.rev (candidate :: !dropped)) in
+          let kept = complement ~k trial in
+          let features = Device_data.features train ~keep:kept in
+          let labels = dropped_labels train ~dropped:trial ~fraction:0.0 in
+          let features', labels' = maybe_grid config features labels in
+          let model = train_classifier config.learner features' labels' in
+          let nominal = Guard_band.predict model in
+          let validation_data =
+            match config.validation with
+            | On_test_data -> test
+            | On_train_data -> train
+          in
+          let error =
+            prediction_error nominal validation_data ~kept ~dropped:trial
+          in
+          let accepted = error <= config.tolerance in
+          (match journal with
+           | None -> ()
+           | Some w ->
+             journal_write "journal append"
+               (Journal.append w
+                  { Journal.spec_index = candidate; accepted; error; model }));
+          (accepted, error)
+        end
       in
-      let validation_data =
-        match config.validation with
-        | On_test_data -> test
-        | On_train_data -> train
-      in
-      let error = prediction_error nominal validation_data ~kept ~dropped:trial in
-      let accepted = error <= config.tolerance in
       if accepted then dropped := candidate :: !dropped;
       let counts =
         if accepted && eval_each then begin
@@ -271,6 +360,12 @@ let greedy ?(order = Order.By_failure_count) ?(eval_each = false) config ~train
       in
       steps := { spec_index = candidate; accepted; error; counts } :: !steps)
     examination;
+  (match journal with
+   | None -> ()
+   | Some w -> journal_write "journal finish" (Journal.finish w));
   let final_dropped = Array.of_list (List.rev !dropped) in
   let flow = make_flow config train ~dropped:final_dropped in
   { flow; steps = List.rev !steps; config }
+
+let greedy ?order ?eval_each config ~train ~test =
+  greedy_resumable ?order ?eval_each config ~train ~test

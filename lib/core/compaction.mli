@@ -97,6 +97,39 @@ val greedy :
     [eval_each] (default false) additionally evaluates the guard-banded
     flow on [test] after every accepted elimination (Figure 5 data). *)
 
+val journal_fingerprint :
+  config -> train:Device_data.t -> test:Device_data.t -> order:int array ->
+  string
+(** Binds a {!Journal} to one run: a hash over the config, the computed
+    examination order, and both populations (under [On_test_data] the
+    accept decisions read the test data too). Two runs whose greedy
+    decisions could diverge get different fingerprints. *)
+
+val greedy_resumable :
+  ?order:Order.strategy ->
+  ?eval_each:bool ->
+  ?journal:Journal.writer ->
+  ?replay:Journal.entry array ->
+  config ->
+  train:Device_data.t ->
+  test:Device_data.t ->
+  result
+(** {!greedy} with crash resumability. [replay] holds the steps an
+    earlier (killed) run already decided, in examination order: they
+    are taken as recorded — no SVM is trained for them — and the loop
+    continues live from the first unjournaled candidate, so the
+    dominant cost of a crashed run is not paid twice. Every live step
+    is appended (and flushed) to [journal] before the loop advances,
+    and the [done] trailer is written on completion. Because each
+    training set is a deterministic function of the prior decisions, a
+    resumed run returns a flow bit-identical (via [Stc_floor.Flow_io])
+    to an uninterrupted one.
+
+    Raises [Invalid_argument] when [replay] does not match this run's
+    examination order (guard against resuming a foreign journal beyond
+    what {!journal_fingerprint} already catches) and [Failure] when the
+    journal cannot be written. *)
+
 val eliminate :
   config -> train:Device_data.t -> test:Device_data.t ->
   dropped:int array -> Metrics.counts * flow

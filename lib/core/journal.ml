@@ -1,0 +1,213 @@
+open Textio
+
+let version = "stc-journal-1"
+
+type entry = {
+  spec_index : int;
+  accepted : bool;
+  error : float;
+  model : Guard_band.model;
+}
+
+(* 64-bit FNV-1a; Int64 so the wrap-around is well defined on every
+   word size. *)
+let fingerprint_hex s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+(* ------------------------------ writing --------------------------- *)
+
+type writer = {
+  oc : out_channel;
+  mutable count : int;
+  mutable finished : bool;
+  mutable closed : bool;
+}
+
+let entry_to_text ~seq e =
+  match Model_text.to_text e.model with
+  | Error err -> Error ("Journal: " ^ err)
+  | Ok model_text ->
+    Ok
+      (Printf.sprintf "step %d %d %d %s\n%s" seq e.spec_index
+         (if e.accepted then 1 else 0)
+         (fp e.error) model_text)
+
+let header_text ~fingerprint =
+  Printf.sprintf "%s\nfingerprint %s\n" version fingerprint
+
+let create ~path ~fingerprint =
+  try
+    let oc = open_out_bin path in
+    output_string oc (header_text ~fingerprint);
+    flush oc;
+    Ok { oc; count = 0; finished = false; closed = false }
+  with Sys_error e -> Error e
+
+let entries_written w = w.count
+
+let append w e =
+  if w.closed then Error "Journal.append: writer is closed"
+  else if w.finished then Error "Journal.append: journal is already complete"
+  else begin
+    match entry_to_text ~seq:w.count e with
+    | Error _ as err -> err
+    | Ok text ->
+      (try
+         output_string w.oc text;
+         flush w.oc;
+         w.count <- w.count + 1;
+         Ok ()
+       with Sys_error e -> Error e)
+  end
+
+let finish w =
+  if w.closed then Error "Journal.finish: writer is closed"
+  else if w.finished then Error "Journal.finish: already finished"
+  else begin
+    try
+      output_string w.oc (Printf.sprintf "done %d\n" w.count);
+      flush w.oc;
+      w.finished <- true;
+      Ok ()
+    with Sys_error e -> Error e
+  end
+
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    close_out_noerr w.oc
+  end
+
+(* ------------------------------ reading --------------------------- *)
+
+type replay = {
+  fingerprint : string;
+  entries : entry array;
+  complete : bool;
+}
+
+let of_string text =
+  let cur = cursor_of_string text in
+  let* header = next_line cur in
+  if header <> version then
+    if
+      String.length header >= 12 && String.sub header 0 12 = "stc-journal-"
+    then
+      fail cur
+        (Printf.sprintf "unsupported journal version %S (this build reads %S)"
+           header version)
+    else fail cur (Printf.sprintf "expected %S header, got %S" version header)
+  else
+    let* fingerprint = expect_keyword cur "fingerprint" in
+    let* () =
+      if
+        String.length fingerprint = 16
+        && String.for_all
+             (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+             fingerprint
+      then Ok ()
+      else fail cur (Printf.sprintf "malformed fingerprint %S" fingerprint)
+    in
+    let rec read_entries acc =
+      (* end of input here is the crash shape WAL tolerates: the run
+         died between records, so everything recorded so far replays *)
+      if at_end cur then
+        Ok { fingerprint; entries = Array.of_list (List.rev acc); complete = false }
+      else
+        let* line = next_line cur in
+        match String.split_on_char ' ' line with
+        | [ "done"; n ] ->
+          let* n = parse_int cur "done count" n in
+          if n <> List.length acc then
+            fail cur
+              (Printf.sprintf "done count %d but %d steps recorded" n
+                 (List.length acc))
+          else if not (at_end cur) then fail cur "trailing content after done"
+          else
+            Ok
+              {
+                fingerprint;
+                entries = Array.of_list (List.rev acc);
+                complete = true;
+              }
+        | [ "step"; seq; spec_index; accepted; error ] ->
+          let* seq = parse_int cur "step sequence" seq in
+          if seq <> List.length acc then
+            fail cur
+              (Printf.sprintf "step sequence %d out of order (expected %d)" seq
+                 (List.length acc))
+          else
+            let* spec_index = parse_int cur "spec index" spec_index in
+            let* () =
+              if spec_index >= 0 then Ok ()
+              else fail cur "negative spec index"
+            in
+            let* accepted =
+              match accepted with
+              | "1" -> Ok true
+              | "0" -> Ok false
+              | _ -> fail cur "accepted must be 0 or 1"
+            in
+            let* error = parse_float cur "step error" error in
+            let* model = Model_text.parse cur in
+            read_entries ({ spec_index; accepted; error; model } :: acc)
+        | _ -> fail cur "malformed journal line (expected step or done)"
+    in
+    read_entries []
+
+let to_string r =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer (header_text ~fingerprint:r.fingerprint);
+  let rec go i =
+    if i >= Array.length r.entries then Ok ()
+    else
+      match entry_to_text ~seq:i r.entries.(i) with
+      | Error _ as e -> e
+      | Ok text ->
+        Buffer.add_string buffer text;
+        go (i + 1)
+  in
+  match go 0 with
+  | Error _ as e -> e
+  | Ok () ->
+    if r.complete then
+      Buffer.add_string buffer
+        (Printf.sprintf "done %d\n" (Array.length r.entries));
+    Ok (Buffer.contents buffer)
+
+let load ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> of_string text
+  | exception Sys_error e -> Error e
+
+let open_append ~path ~fingerprint =
+  match load ~path with
+  | Error _ as e -> e
+  | Ok r ->
+    if r.fingerprint <> fingerprint then
+      Error
+        (Printf.sprintf
+           "journal fingerprint %s does not match this run (%s): it was \
+            written for a different config, training population, or \
+            examination order"
+           r.fingerprint fingerprint)
+    else if r.complete then Error "journal is already complete"
+    else begin
+      try
+        let oc =
+          open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+        in
+        Ok { oc; count = Array.length r.entries; finished = false; closed = false }
+      with Sys_error e -> Error e
+    end

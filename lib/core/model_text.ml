@@ -1,0 +1,42 @@
+module Model_io = Stc_svm.Model_io
+
+open Textio
+
+let to_text (m : Guard_band.model) =
+  match m with
+  | Guard_band.Constant c -> Ok (Printf.sprintf "model constant %d\n" c)
+  | Guard_band.Svr svr ->
+    let body = Model_io.svr_to_string svr in
+    Ok (Printf.sprintf "model svr %d\n%s" (count_lines body) body)
+  | Guard_band.Svc svc ->
+    let body = Model_io.svc_to_string svc in
+    Ok (Printf.sprintf "model svc %d\n%s" (count_lines body) body)
+  | Guard_band.Opaque _ ->
+    Error
+      "band holds an opaque classifier (lookup table or adaptive-guard \
+       margin); only Constant/Svr/Svc models serialise"
+
+let parse cur =
+  let* line = next_line cur in
+  match String.split_on_char ' ' line with
+  | [ "model"; "constant"; c ] ->
+    let* c = parse_int cur "constant label" c in
+    if c <> 1 && c <> -1 then fail cur "constant label must be +/-1"
+    else Ok (Guard_band.Constant c)
+  | [ "model"; ("svr" | "svc") as family; nlines ] ->
+    let* nlines = parse_int cur "model line count" nlines in
+    if nlines < 0 then fail cur "negative model line count"
+    else
+      let* body_lines = take_lines cur nlines in
+      let body = String.concat "\n" body_lines ^ "\n" in
+      if family = "svr" then begin
+        match Model_io.svr_of_string body with
+        | Ok m -> Ok (Guard_band.Svr m)
+        | Error e -> fail cur ("embedded svr: " ^ e)
+      end
+      else begin
+        match Model_io.svc_of_string body with
+        | Ok m -> Ok (Guard_band.Svc m)
+        | Error e -> fail cur ("embedded svc: " ^ e)
+      end
+  | _ -> fail cur "malformed model line"

@@ -1,0 +1,15 @@
+(** Text embedding of {!Guard_band.model} values inside line-oriented
+    container formats ([stc-flow-1] bands, [stc-journal-1] step
+    predictors).
+
+    A model embeds as one ["model ..."] header line followed, for
+    SVR/SVC, by the {!Stc_svm.Model_io} body verbatim with its line
+    count in the header — so a container can skip or extract the body
+    without understanding it. *)
+
+val to_text : Guard_band.model -> (string, string) result
+(** The embedded form, ending with a newline. [Error] for
+    {!Guard_band.Opaque} (a bare closure carries no model data). *)
+
+val parse : Textio.cursor -> (Guard_band.model, string) result
+(** Consumes one embedded model from the cursor. *)

@@ -1,0 +1,135 @@
+let fp = Printf.sprintf "%.17g"
+
+(* Field values may contain spaces; fields are percent-encoded so every
+   line stays space-splittable. The empty string encodes to a lone "%",
+   which no non-empty encoding produces (a literal '%' is always
+   "%25"). *)
+let encode_field s =
+  if s = "" then "%"
+  else begin
+    let buffer = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '%' | ' ' | '\t' | '\n' | '\r' ->
+          Buffer.add_string buffer (Printf.sprintf "%%%02X" (Char.code c))
+        | c -> Buffer.add_char buffer c)
+      s;
+    Buffer.contents buffer
+  end
+
+let decode_field s =
+  if s = "%" then Ok ""
+  else begin
+    let len = String.length s in
+    let buffer = Buffer.create len in
+    let rec go i =
+      if i >= len then Ok (Buffer.contents buffer)
+      else if s.[i] = '%' then begin
+        if i + 2 >= len then Error "truncated percent escape"
+        else begin
+          match int_of_string_opt (Printf.sprintf "0x%c%c" s.[i + 1] s.[i + 2]) with
+          | Some code ->
+            Buffer.add_char buffer (Char.chr code);
+            go (i + 3)
+          | None -> Error "bad percent escape"
+        end
+      end
+      else begin
+        Buffer.add_char buffer s.[i];
+        go (i + 1)
+      end
+    in
+    go 0
+  end
+
+let count_lines text =
+  let n = ref 0 in
+  String.iter (fun c -> if c = '\n' then incr n) text;
+  !n
+
+let add_index_line buffer key indices =
+  Buffer.add_string buffer key;
+  Buffer.add_char buffer ' ';
+  Buffer.add_string buffer (string_of_int (Array.length indices));
+  Array.iter
+    (fun i ->
+      Buffer.add_char buffer ' ';
+      Buffer.add_string buffer (string_of_int i))
+    indices;
+  Buffer.add_char buffer '\n'
+
+(* ------------------------------ cursor ---------------------------- *)
+
+type cursor = {
+  mutable lines : string list;
+  mutable lineno : int;
+}
+
+let cursor_of_string text =
+  let lines = String.split_on_char '\n' text in
+  (* a well-formed file ends with a newline: drop the final empty piece *)
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  { lines; lineno = 0 }
+
+let next_line cur =
+  match cur.lines with
+  | [] ->
+    Error
+      (Printf.sprintf "line %d: text is truncated (unexpected end of input)"
+         (cur.lineno + 1))
+  | line :: rest ->
+    cur.lines <- rest;
+    cur.lineno <- cur.lineno + 1;
+    Ok line
+
+let at_end cur = cur.lines = []
+
+let fail cur msg = Error (Printf.sprintf "line %d: %s" cur.lineno msg)
+
+let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v
+
+let expect_keyword cur key =
+  let* line = next_line cur in
+  match String.index_opt line ' ' with
+  | Some i when String.sub line 0 i = key ->
+    Ok (String.sub line (i + 1) (String.length line - i - 1))
+  | Some _ | None -> fail cur (Printf.sprintf "expected %S header" key)
+
+(* [float_of_string] happily parses "nan" and "inf"; a persisted
+   non-finite float can only be a corrupted file, so reject it here
+   rather than letting it poison every later computation. *)
+let parse_float cur what s =
+  match float_of_string_opt s with
+  | Some v when Float.is_finite v -> Ok v
+  | Some _ -> fail cur (Printf.sprintf "non-finite %s %S" what s)
+  | None -> fail cur (Printf.sprintf "bad %s %S" what s)
+
+let parse_int cur what s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> fail cur (Printf.sprintf "bad %s %S" what s)
+
+let parse_index_line cur key line =
+  match String.split_on_char ' ' line with
+  | k :: count :: rest when k = key ->
+    let* count = parse_int cur "count" count in
+    if List.length rest <> count then fail cur (key ^ " count mismatch")
+    else begin
+      let parsed = List.map int_of_string_opt rest in
+      if List.exists (fun v -> v = None) parsed then
+        fail cur ("bad index in " ^ key)
+      else Ok (Array.of_list (List.map Option.get parsed))
+    end
+  | _ -> fail cur (Printf.sprintf "expected %S line" key)
+
+let take_lines cur n =
+  let rec go n acc =
+    if n = 0 then Ok (List.rev acc)
+    else
+      let* line = next_line cur in
+      go (n - 1) (line :: acc)
+  in
+  go n []

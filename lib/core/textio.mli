@@ -1,0 +1,64 @@
+(** Shared machinery for the line-oriented, space-separated text
+    formats the system persists ([Stc_floor.Flow_io]'s [stc-flow-1] and
+    {!Journal}'s [stc-journal-1]): float printing that round-trips
+    bit-for-bit, percent-encoded fields, and a line cursor whose errors
+    always carry the 1-based line number.
+
+    Both formats obey the same laws, enforced by the QA suite: parse ∘
+    print = id, print ∘ parse = canonicalise, and every rejection is a
+    typed [Error] naming the line. *)
+
+val fp : float -> string
+(** [%.17g] — prints any finite float so [float_of_string] returns the
+    identical bits. *)
+
+val encode_field : string -> string
+(** Percent-encodes ['%'], spaces and line breaks so the field is
+    space-splittable; the empty string encodes to a lone ["%"] (which
+    no non-empty encoding produces). *)
+
+val decode_field : string -> (string, string) result
+
+val count_lines : string -> int
+(** Number of ['\n'] characters — the line count of an embedded body
+    that ends with a newline. *)
+
+val add_index_line : Buffer.t -> string -> int array -> unit
+(** [add_index_line b key indices] appends ["key n i1 .. in\n"]. *)
+
+(* ------------------------------ cursor ---------------------------- *)
+
+type cursor
+(** A read cursor over raw lines; no trimming or blank filtering, so
+    verbatim embedded bodies survive. *)
+
+val cursor_of_string : string -> cursor
+(** Splits on ['\n']; a single trailing empty piece (the final
+    newline of a well-formed file) is dropped. *)
+
+val next_line : cursor -> (string, string) result
+(** Consumes one line, or an [Error] saying the text is truncated at
+    the line that was expected. *)
+
+val at_end : cursor -> bool
+
+val fail : cursor -> string -> ('a, string) result
+(** [Error "line N: msg"] for the line most recently consumed. *)
+
+val ( let* ) : ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result
+
+val expect_keyword : cursor -> string -> (string, string) result
+(** Consumes ["key rest"] and returns [rest]. *)
+
+val parse_float : cursor -> string -> string -> (float, string) result
+(** Rejects non-finite values: a persisted NaN/inf can only be
+    corruption, so it must not poison later arithmetic. *)
+
+val parse_int : cursor -> string -> string -> (int, string) result
+
+val parse_index_line :
+  cursor -> string -> string -> (int array, string) result
+(** Parses a line produced by {!add_index_line} (the line itself is
+    passed, already consumed, so callers can branch on its key). *)
+
+val take_lines : cursor -> int -> (string list, string) result

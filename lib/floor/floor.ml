@@ -21,6 +21,8 @@ type stats = {
   shipped : int;
   scrapped : int;
   retested : int;
+  retries : int;
+  degraded : int;
   batches : int;
   elapsed_s : float;
   last_batch_s : float;
@@ -32,6 +34,8 @@ let empty_stats =
     shipped = 0;
     scrapped = 0;
     retested = 0;
+    retries = 0;
+    degraded = 0;
     batches = 0;
     elapsed_s = 0.0;
     last_batch_s = 0.0;
@@ -42,6 +46,7 @@ type t = {
   config : config;
   pool : Pool.t;
   mutable stats : stats;
+  mutable degraded_mode : bool;
   mutable closed : bool;
 }
 
@@ -54,21 +59,30 @@ let create ?(config = default_config) flow =
     config;
     pool = Pool.create ~domains:config.domains;
     stats = empty_stats;
+    degraded_mode = false;
     closed = false;
   }
 
 let flow t = t.flow
 let config t = t.config
 let stats t = t.stats
-let reset_stats t = t.stats <- empty_stats
+let degraded t = t.degraded_mode
+
+let reset_stats t =
+  t.stats <- empty_stats;
+  t.degraded_mode <- false
 
 (* One batch: verdicts fan out across the pool (each row's verdict is a
    pure function of the row, so scheduling cannot change it), then the
    guard escalations run sequentially in row order on the submitting
    domain — the retest callback stands for the full-test station and
    need not be thread-safe. *)
-let process ?retest ?(strict = false) t rows =
+let process ?retest ?retry ?batch_deadline_s ?(strict = false) t rows =
   if t.closed then invalid_arg "Floor.process: engine is shut down";
+  (match batch_deadline_s with
+   | Some d when d <= 0.0 ->
+     invalid_arg "Floor.process: batch_deadline_s must be positive"
+   | _ -> ());
   let k = Array.length t.flow.Compaction.specs in
   Array.iter
     (fun row ->
@@ -108,7 +122,61 @@ let process ?retest ?(strict = false) t rows =
         for i = first to last do
           verdicts.(i) <- Compaction.flow_verdict t.flow rows.(i)
         done);
-    let shipped = ref 0 and scrapped = ref 0 and retested = ref 0 in
+    let shipped = ref 0
+    and scrapped = ref 0
+    and retested = ref 0
+    and retries = ref 0
+    and degraded_n = ref 0 in
+    (* A guard device the engine cannot escalate (station down, retries
+       exhausted, deadline blown) is never dropped: it is binned Retest
+       for a later station and counted [degraded]. *)
+    let shed () =
+      incr degraded_n;
+      Tester.Retest
+    in
+    let past_deadline () =
+      match batch_deadline_s with
+      | None -> false
+      | Some d -> Unix.gettimeofday () -. t0 >= d
+    in
+    let escalate row =
+      match retest with
+      | None -> Tester.Retest
+      | Some full_test ->
+        if t.degraded_mode then shed ()
+        else if past_deadline () then shed ()
+        else begin
+          match retry with
+          | None ->
+            (* no policy: the callback's failures are the caller's *)
+            if full_test row then begin
+              incr shipped;
+              Tester.Ship
+            end
+            else begin
+              incr scrapped;
+              Tester.Scrap
+            end
+          | Some policy ->
+            let result, attempts_retried =
+              Retry.run policy (fun () -> full_test row)
+            in
+            retries := !retries + attempts_retried;
+            (match result with
+             | Ok true ->
+               incr shipped;
+               Tester.Ship
+             | Ok false ->
+               incr scrapped;
+               Tester.Scrap
+             | Error _ ->
+               (* the station keeps failing: stop hammering it and
+                  serve every later guard device degraded until
+                  [reset_stats] declares it repaired *)
+               t.degraded_mode <- true;
+               shed ())
+        end
+    in
     for i = base to hi - 1 do
       let bin =
         match verdicts.(i) with
@@ -120,17 +188,7 @@ let process ?retest ?(strict = false) t rows =
           Tester.Scrap
         | Guard_band.Guard ->
           incr retested;
-          (match retest with
-           | None -> Tester.Retest
-           | Some full_test ->
-             if full_test rows.(i) then begin
-               incr shipped;
-               Tester.Ship
-             end
-             else begin
-               incr scrapped;
-               Tester.Scrap
-             end)
+          escalate rows.(i)
       in
       out.(i) <- { bin; verdict = verdicts.(i) }
     done;
@@ -141,6 +199,8 @@ let process ?retest ?(strict = false) t rows =
         shipped = t.stats.shipped + !shipped;
         scrapped = t.stats.scrapped + !scrapped;
         retested = t.stats.retested + !retested;
+        retries = t.stats.retries + !retries;
+        degraded = t.stats.degraded + !degraded_n;
         batches = t.stats.batches + 1;
         elapsed_s = t.stats.elapsed_s +. dt;
         last_batch_s = dt;
@@ -166,6 +226,9 @@ let report t =
       [ "shipped"; string_of_int s.shipped; pct s.shipped ];
       [ "scrapped"; string_of_int s.scrapped; pct s.scrapped ];
       [ "retested (guard)"; string_of_int s.retested; pct s.retested ];
+      [ "retest retries"; string_of_int s.retries; "" ];
+      [ "degraded (shed)"; string_of_int s.degraded; pct s.degraded ];
+      [ "mode"; (if t.degraded_mode then "DEGRADED" else "normal"); "" ];
       [ "batches"; string_of_int s.batches; "" ];
       [ "elapsed"; Printf.sprintf "%.3f s" s.elapsed_s; "" ];
       [ "last batch"; Printf.sprintf "%.1f ms" (1000.0 *. s.last_batch_s); "" ];

@@ -1,86 +1,18 @@
 module Spec = Stc.Spec
 module Compaction = Stc.Compaction
 module Guard_band = Stc.Guard_band
-module Model_io = Stc_svm.Model_io
+module Model_text = Stc.Model_text
+
+open Stc.Textio
 
 let version = "stc-flow-1"
 
-let fp = Printf.sprintf "%.17g"
-
-(* Spec names and unit labels may contain spaces; fields are
-   percent-encoded so every line stays space-splittable. The empty
-   string encodes to a lone "%", which no non-empty encoding produces
-   (a literal '%' is always "%25"). *)
-let encode_field s =
-  if s = "" then "%"
-  else begin
-    let buffer = Buffer.create (String.length s) in
-    String.iter
-      (fun c ->
-        match c with
-        | '%' | ' ' | '\t' | '\n' | '\r' ->
-          Buffer.add_string buffer (Printf.sprintf "%%%02X" (Char.code c))
-        | c -> Buffer.add_char buffer c)
-      s;
-    Buffer.contents buffer
-  end
-
-let decode_field s =
-  if s = "%" then Ok ""
-  else begin
-    let len = String.length s in
-    let buffer = Buffer.create len in
-    let rec go i =
-      if i >= len then Ok (Buffer.contents buffer)
-      else if s.[i] = '%' then begin
-        if i + 2 >= len then Error "truncated percent escape"
-        else begin
-          match int_of_string_opt (Printf.sprintf "0x%c%c" s.[i + 1] s.[i + 2]) with
-          | Some code ->
-            Buffer.add_char buffer (Char.chr code);
-            go (i + 3)
-          | None -> Error "bad percent escape"
-        end
-      end
-      else begin
-        Buffer.add_char buffer s.[i];
-        go (i + 1)
-      end
-    in
-    go 0
-  end
-
 (* ------------------------------ writing --------------------------- *)
 
-let add_index_line buffer key indices =
-  Buffer.add_string buffer key;
-  Buffer.add_char buffer ' ';
-  Buffer.add_string buffer (string_of_int (Array.length indices));
-  Array.iter
-    (fun i ->
-      Buffer.add_char buffer ' ';
-      Buffer.add_string buffer (string_of_int i))
-    indices;
-  Buffer.add_char buffer '\n'
-
-let count_lines text =
-  let n = ref 0 in
-  String.iter (fun c -> if c = '\n' then incr n) text;
-  !n
-
-let model_to_text (m : Guard_band.model) =
-  match m with
-  | Guard_band.Constant c -> Ok (Printf.sprintf "model constant %d\n" c)
-  | Guard_band.Svr svr ->
-    let body = Model_io.svr_to_string svr in
-    Ok (Printf.sprintf "model svr %d\n%s" (count_lines body) body)
-  | Guard_band.Svc svc ->
-    let body = Model_io.svc_to_string svc in
-    Ok (Printf.sprintf "model svc %d\n%s" (count_lines body) body)
-  | Guard_band.Opaque _ ->
-    Error
-      "Flow_io: band holds an opaque classifier (lookup table or \
-       adaptive-guard margin); only Constant/Svr/Svc models serialise"
+let model_to_text m =
+  match Model_text.to_text m with
+  | Ok _ as ok -> ok
+  | Error e -> Error ("Flow_io: " ^ e)
 
 let to_string (flow : Compaction.flow) =
   let buffer = Buffer.create 4096 in
@@ -127,103 +59,8 @@ let to_string (flow : Compaction.flow) =
 
 (* ------------------------------ reading --------------------------- *)
 
-(* A cursor over the raw lines; model bodies are embedded verbatim, so
-   no trimming or blank-line filtering happens at this level. *)
-type cursor = {
-  mutable lines : string list;
-  mutable lineno : int;
-}
-
-let next_line cur =
-  match cur.lines with
-  | [] ->
-    Error
-      (Printf.sprintf "line %d: flow text is truncated (unexpected end of input)"
-         (cur.lineno + 1))
-  | line :: rest ->
-    cur.lines <- rest;
-    cur.lineno <- cur.lineno + 1;
-    Ok line
-
-let fail cur msg = Error (Printf.sprintf "line %d: %s" cur.lineno msg)
-
-let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v
-
-let expect_keyword cur key =
-  let* line = next_line cur in
-  match String.index_opt line ' ' with
-  | Some i when String.sub line 0 i = key ->
-    Ok (String.sub line (i + 1) (String.length line - i - 1))
-  | Some _ | None -> fail cur (Printf.sprintf "expected %S header" key)
-
-(* [float_of_string] happily parses "nan" and "inf"; a flow with a
-   non-finite bound or fraction can only be a corrupted file, so reject
-   it here rather than letting it poison every later verdict. *)
-let parse_float cur what s =
-  match float_of_string_opt s with
-  | Some v when Float.is_finite v -> Ok v
-  | Some _ -> fail cur (Printf.sprintf "non-finite %s %S" what s)
-  | None -> fail cur (Printf.sprintf "bad %s %S" what s)
-
-let parse_int cur what s =
-  match int_of_string_opt s with
-  | Some v -> Ok v
-  | None -> fail cur (Printf.sprintf "bad %s %S" what s)
-
-let parse_index_line cur key line =
-  match String.split_on_char ' ' line with
-  | k :: count :: rest when k = key ->
-    let* count = parse_int cur "count" count in
-    if List.length rest <> count then fail cur (key ^ " count mismatch")
-    else begin
-      let parsed = List.map int_of_string_opt rest in
-      if List.exists (fun v -> v = None) parsed then
-        fail cur ("bad index in " ^ key)
-      else Ok (Array.of_list (List.map Option.get parsed))
-    end
-  | _ -> fail cur (Printf.sprintf "expected %S line" key)
-
-let take_lines cur n =
-  let rec go n acc =
-    if n = 0 then Ok (List.rev acc)
-    else
-      let* line = next_line cur in
-      go (n - 1) (line :: acc)
-  in
-  go n []
-
-let parse_model cur =
-  let* line = next_line cur in
-  match String.split_on_char ' ' line with
-  | [ "model"; "constant"; c ] ->
-    let* c = parse_int cur "constant label" c in
-    if c <> 1 && c <> -1 then fail cur "constant label must be +/-1"
-    else Ok (Guard_band.Constant c)
-  | [ "model"; ("svr" | "svc") as family; nlines ] ->
-    let* nlines = parse_int cur "model line count" nlines in
-    if nlines < 0 then fail cur "negative model line count"
-    else
-      let* body_lines = take_lines cur nlines in
-      let body = String.concat "\n" body_lines ^ "\n" in
-      if family = "svr" then begin
-        match Model_io.svr_of_string body with
-        | Ok m -> Ok (Guard_band.Svr m)
-        | Error e -> fail cur ("embedded svr: " ^ e)
-      end
-      else begin
-        match Model_io.svc_of_string body with
-        | Ok m -> Ok (Guard_band.Svc m)
-        | Error e -> fail cur ("embedded svc: " ^ e)
-      end
-  | _ -> fail cur "malformed model line"
-
 let of_string text =
-  let lines = String.split_on_char '\n' text in
-  (* a well-formed flow ends with a newline: drop the final empty piece *)
-  let lines =
-    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
-  in
-  let cur = { lines; lineno = 0 } in
+  let cur = cursor_of_string text in
   let* header = next_line cur in
   if header <> version then
     if
@@ -301,15 +138,15 @@ let of_string text =
         match band_line with
         | "band none" -> Ok None
         | "band single" ->
-          let* m = parse_model cur in
+          let* m = Model_text.parse cur in
           Ok (Some (Guard_band.single_model m))
         | "band pair" ->
-          let* tight = parse_model cur in
-          let* loose = parse_model cur in
+          let* tight = Model_text.parse cur in
+          let* loose = Model_text.parse cur in
           Ok (Some (Guard_band.of_models ~tight ~loose))
         | _ -> fail cur "expected band line (none | single | pair)"
       in
-      if cur.lines <> [] then fail cur "trailing content after flow"
+      if not (at_end cur) then fail cur "trailing content after flow"
       else
         Ok
           {

@@ -1,0 +1,57 @@
+module Rng = Stc_numerics.Rng
+
+type classification =
+  | Transient
+  | Permanent
+
+type policy = {
+  attempts : int;
+  base_delay_s : float;
+  max_delay_s : float;
+  jitter : float;
+  seed : int;
+  classify : exn -> classification;
+}
+
+let default_policy =
+  {
+    attempts = 3;
+    base_delay_s = 0.001;
+    max_delay_s = 0.05;
+    jitter = 0.5;
+    seed = 0x5743;  (* "WC", worst case *)
+    classify = (fun _ -> Transient);
+  }
+
+(* Deterministic jitter: the stream depends only on (seed, retry), so
+   the schedule is a pure function of the policy — reproducible, and
+   uncorrelated across retries. *)
+let delay_s policy ~retry =
+  if retry < 1 then invalid_arg "Retry.delay_s: retry must be >= 1";
+  let d =
+    Stdlib.min policy.max_delay_s
+      (policy.base_delay_s *. (2.0 ** float_of_int (retry - 1)))
+  in
+  if policy.jitter <= 0.0 then d
+  else begin
+    let rng = Rng.create ((policy.seed * 8191) + retry) in
+    let j = Stdlib.min 1.0 policy.jitter in
+    d *. (1.0 -. (j *. Rng.float rng))
+  end
+
+let run ?(sleep = Unix.sleepf) policy f =
+  if policy.attempts < 1 then invalid_arg "Retry.run: attempts must be >= 1";
+  let rec go attempt =
+    match f () with
+    | v -> (Ok v, attempt - 1)
+    | exception e ->
+      (match policy.classify e with
+       | Permanent -> (Error e, attempt - 1)
+       | Transient ->
+         if attempt >= policy.attempts then (Error e, attempt - 1)
+         else begin
+           sleep (delay_s policy ~retry:attempt);
+           go (attempt + 1)
+         end)
+  in
+  go 1

@@ -1,0 +1,48 @@
+(** Bounded retry with exponential backoff and deterministic jitter.
+
+    Wraps an unreliable external call — on the test floor, the full
+    retest station behind {!Floor.process} — so one transient glitch
+    (a dropped link, a busy handler) does not scrap a recoverable
+    device. Failures are classified: a [Transient] exception is retried
+    up to the attempt budget with exponentially growing, jittered
+    delays; a [Permanent] one aborts immediately (retrying a
+    out-of-calibration station only wastes tester time).
+
+    The jitter is deterministic — derived from the policy seed and the
+    attempt number via {!Stc_numerics.Rng}, never from global state or
+    the clock — so a retry schedule is reproducible in tests and two
+    engines with the same policy behave identically. *)
+
+type classification =
+  | Transient  (** worth retrying: the next attempt may succeed *)
+  | Permanent  (** retrying cannot help: fail now *)
+
+type policy = {
+  attempts : int;  (** total attempts including the first; >= 1 *)
+  base_delay_s : float;
+      (** backoff before the first retry; doubles each retry *)
+  max_delay_s : float;  (** backoff ceiling *)
+  jitter : float;
+      (** fraction of the delay randomised away, in [0, 1]: the actual
+          delay is uniform in [(1-jitter)·d, d] *)
+  seed : int;  (** jitter stream seed *)
+  classify : exn -> classification;
+}
+
+val default_policy : policy
+(** 3 attempts, 1 ms base delay, 50 ms ceiling, 0.5 jitter, every
+    exception transient. *)
+
+val delay_s : policy -> retry:int -> float
+(** The delay before retry [retry] (1-based): exponential backoff
+    clipped to [max_delay_s], with deterministic jitter. Pure. *)
+
+val run :
+  ?sleep:(float -> unit) ->
+  policy -> (unit -> 'a) -> ('a, exn) result * int
+(** [run policy f] calls [f] up to [policy.attempts] times, sleeping
+    {!delay_s} between attempts, and returns the first success or the
+    last exception, paired with the number of retries actually
+    performed (0 when the first attempt settles it). [sleep] defaults
+    to [Unix.sleepf]; inject a stub to test schedules without waiting.
+    Raises [Invalid_argument] when [attempts < 1]. *)

@@ -1,7 +1,23 @@
+exception Timeout
+
 type job = {
   f : int -> unit;
   n : int;
   next : int Atomic.t;
+  gen : int;
+  mutable pending : int;  (* workers still executing this job; under mutex *)
+}
+
+type worker = {
+  mutable domain : unit Domain.t option;  (* dropped when zombied *)
+  mutable busy_gen : int;  (* generation being executed, 0 = idle; under mutex *)
+  mutable zombie : bool;   (* abandoned: die when the stalled task returns *)
+  mutable heartbeat : float;  (* last task claim (Unix time); written by owner *)
+}
+
+type stats = {
+  timeouts : int;
+  respawned : int;
 }
 
 type t = {
@@ -11,22 +27,29 @@ type t = {
   finished : Condition.t;
   mutable job : job option;
   mutable generation : int;
-  mutable running : int;        (* helpers still executing the current job *)
-  mutable error : exn option;   (* first exception raised by any task *)
+  mutable abandoned : int;  (* generations <= abandoned were timed out *)
+  mutable error : exn option;  (* first exception raised by any live task *)
   mutable stop : bool;
-  mutable helpers : unit Domain.t array;
+  mutable workers : worker list;  (* live helpers; zombies are removed *)
+  mutable timeouts : int;
+  mutable respawned : int;
 }
 
 (* Work stealing by atomic index claim: any domain grabs the next
-   undone task, so load imbalance between tasks self-corrects. *)
-let exec t job =
+   undone task, so load imbalance between tasks self-corrects. Each
+   claim stamps the worker's heartbeat, so a supervisor can tell a
+   stalled worker (stuck inside one task) from a busy one. *)
+let exec t w job =
   let rec claim () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < job.n then begin
+      w.heartbeat <- Unix.gettimeofday ();
       (try job.f i
        with e ->
          Mutex.lock t.mutex;
-         if t.error = None then t.error <- Some e;
+         (* a zombie finishing long after its job was abandoned must
+            not poison the error slot of whatever runs now *)
+         if t.error = None && job.gen > t.abandoned then t.error <- Some e;
          Mutex.unlock t.mutex;
          (* drain the remaining tasks so everyone returns promptly *)
          Atomic.set job.next job.n);
@@ -35,8 +58,8 @@ let exec t job =
   in
   claim ()
 
-let helper_loop t =
-  let seen = ref 0 in
+let helper_loop t w initial_seen =
+  let seen = ref initial_seen in
   let live = ref true in
   while !live do
     Mutex.lock t.mutex;
@@ -50,14 +73,26 @@ let helper_loop t =
     else begin
       seen := t.generation;
       let job = Option.get t.job in
+      w.busy_gen <- job.gen;
       Mutex.unlock t.mutex;
-      exec t job;
+      exec t w job;
       Mutex.lock t.mutex;
-      t.running <- t.running - 1;
-      if t.running = 0 then Condition.broadcast t.finished;
+      w.busy_gen <- 0;
+      job.pending <- job.pending - 1;
+      if job.pending = 0 then Condition.broadcast t.finished;
+      (* zombied while stuck inside the abandoned job: a replacement
+         has already been spawned, so this domain just exits *)
+      if w.zombie then live := false;
       Mutex.unlock t.mutex
     end
   done
+
+let spawn_worker t initial_seen =
+  let w =
+    { domain = None; busy_gen = 0; zombie = false; heartbeat = Unix.gettimeofday () }
+  in
+  w.domain <- Some (Domain.spawn (fun () -> helper_loop t w initial_seen));
+  w
 
 let create ~domains =
   if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
@@ -69,44 +104,166 @@ let create ~domains =
       finished = Condition.create ();
       job = None;
       generation = 0;
-      running = 0;
+      abandoned = 0;
       error = None;
       stop = false;
-      helpers = [||];
+      workers = [];
+      timeouts = 0;
+      respawned = 0;
     }
   in
-  t.helpers <- Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> helper_loop t));
+  t.workers <- List.init (domains - 1) (fun _ -> spawn_worker t 0);
   t
 
 let domains t = t.total
 
-let run t ~n f =
+let stats t =
+  Mutex.lock t.mutex;
+  let s = { timeouts = t.timeouts; respawned = t.respawned } in
+  Mutex.unlock t.mutex;
+  s
+
+let heartbeat_ages t =
+  let now = Unix.gettimeofday () in
+  Mutex.lock t.mutex;
+  let ages = List.map (fun w -> now -. w.heartbeat) t.workers in
+  Mutex.unlock t.mutex;
+  Array.of_list ages
+
+let submit_locked t ~pending f n =
+  t.error <- None;
+  t.generation <- t.generation + 1;
+  let job = { f; n; next = Atomic.make 0; gen = t.generation; pending } in
+  t.job <- Some job;
+  Condition.broadcast t.start;
+  job
+
+let check_runnable t n =
   if n < 0 then invalid_arg "Pool.run: n must be >= 0";
-  if t.stop then invalid_arg "Pool.run: pool is shut down";
-  if n > 0 then begin
-    let job = { f; n; next = Atomic.make 0 } in
+  if t.stop then invalid_arg "Pool.run: pool is shut down"
+
+(* ----------------------- unsupervised mode ------------------------ *)
+
+let run_participating t ~n f =
+  let submitter =
+    { domain = None; busy_gen = 0; zombie = false; heartbeat = Unix.gettimeofday () }
+  in
+  Mutex.lock t.mutex;
+  if t.job <> None then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.run: a job is already in flight"
+  end;
+  let job = submit_locked t ~pending:(List.length t.workers) f n in
+  Mutex.unlock t.mutex;
+  (* the submitting domain works too: domains=1 means no helpers *)
+  exec t submitter job;
+  Mutex.lock t.mutex;
+  while job.pending > 0 do
+    Condition.wait t.finished t.mutex
+  done;
+  t.job <- None;
+  let error = t.error in
+  t.error <- None;
+  Mutex.unlock t.mutex;
+  match error with None -> () | Some e -> raise e
+
+(* ------------------------ supervised mode ------------------------- *)
+
+(* Healthy workers finish their current task in well under this; a
+   worker still inside the abandoned generation afterwards is stalled. *)
+let grace_s = 0.05
+let poll_s = 0.0005
+
+let run_supervised t ~n ~deadline_s f =
+  if deadline_s <= 0.0 then
+    invalid_arg "Pool.run: deadline_s must be positive";
+  Mutex.lock t.mutex;
+  if t.job <> None then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.run: a job is already in flight"
+  end;
+  (* the submitter must stay preemptible, so tasks run only on helper
+     domains: grow the helper set to [domains] on first supervised use,
+     keeping task parallelism at the configured level while the
+     supervisor only watches *)
+  while List.length t.workers < t.total do
+    t.workers <- spawn_worker t t.generation :: t.workers
+  done;
+  let job = submit_locked t ~pending:(List.length t.workers) f n in
+  Mutex.unlock t.mutex;
+  let deadline = Unix.gettimeofday () +. deadline_s in
+  (* short jobs finish in microseconds: yield to the helpers for a
+     while before paying the scheduler's full sleep quantum, so
+     supervision stays cheap on jobs of any size *)
+  let yields = ref 2000 in
+  let rec wait_done () =
     Mutex.lock t.mutex;
-    if t.job <> None then begin
+    if job.pending = 0 then begin
+      t.job <- None;
+      let error = t.error in
+      t.error <- None;
       Mutex.unlock t.mutex;
-      invalid_arg "Pool.run: a job is already in flight"
-    end;
-    t.error <- None;
-    t.job <- Some job;
-    t.generation <- t.generation + 1;
-    t.running <- Array.length t.helpers;
-    Condition.broadcast t.start;
-    Mutex.unlock t.mutex;
-    (* the submitting domain works too: domains=1 means no helpers *)
-    exec t job;
-    Mutex.lock t.mutex;
-    while t.running > 0 do
-      Condition.wait t.finished t.mutex
-    done;
+      match error with None -> () | Some e -> raise e
+    end
+    else if Unix.gettimeofday () >= deadline then timeout ()
+    else begin
+      Mutex.unlock t.mutex;
+      if !yields > 0 then begin
+        decr yields;
+        Unix.sleepf 0.0 (* sched_yield: let helpers run *)
+      end
+      else Unix.sleepf poll_s;
+      wait_done ()
+    end
+  and timeout () =
+    (* holding the mutex *)
+    t.abandoned <- job.gen;
     t.job <- None;
-    let error = t.error in
     t.error <- None;
+    t.timeouts <- t.timeouts + 1;
+    (* drain unclaimed tasks so healthy workers return promptly *)
+    Atomic.set job.next job.n;
     Mutex.unlock t.mutex;
-    match error with None -> () | Some e -> raise e
+    (* a short grace: workers mid-task but healthy finish and go idle *)
+    let grace_deadline = Unix.gettimeofday () +. grace_s in
+    let rec grace () =
+      Mutex.lock t.mutex;
+      if job.pending = 0 then Mutex.unlock t.mutex
+      else if Unix.gettimeofday () >= grace_deadline then begin
+        (* whoever is still inside the abandoned generation is stalled:
+           cut it loose and respawn, so the pool stays serviceable *)
+        let stalled, healthy =
+          List.partition (fun w -> w.busy_gen = job.gen) t.workers
+        in
+        let replacements =
+          List.map
+            (fun w ->
+              w.zombie <- true;
+              w.domain <- None;
+              spawn_worker t t.generation)
+            stalled
+        in
+        t.workers <- healthy @ replacements;
+        t.respawned <- t.respawned + List.length replacements;
+        Mutex.unlock t.mutex
+      end
+      else begin
+        Mutex.unlock t.mutex;
+        Unix.sleepf poll_s;
+        grace ()
+      end
+    in
+    grace ();
+    raise Timeout
+  in
+  wait_done ()
+
+let run ?deadline_s t ~n f =
+  check_runnable t n;
+  if n > 0 then begin
+    match deadline_s with
+    | None -> run_participating t ~n f
+    | Some d -> run_supervised t ~n ~deadline_s:d f
   end
 
 let shutdown t =
@@ -114,9 +271,10 @@ let shutdown t =
   if not t.stop then begin
     t.stop <- true;
     Condition.broadcast t.start;
+    let joinable = List.filter_map (fun w -> w.domain) t.workers in
+    t.workers <- [];
     Mutex.unlock t.mutex;
-    Array.iter Domain.join t.helpers;
-    t.helpers <- [||]
+    List.iter Domain.join joinable
   end
   else Mutex.unlock t.mutex
 

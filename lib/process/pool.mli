@@ -1,13 +1,22 @@
-(** A reusable multicore worker pool over OCaml 5 domains.
+(** A supervised multicore worker pool over OCaml 5 domains.
 
     One pool owns [domains - 1] helper domains parked on a condition
-    variable; the submitting domain participates in every job, so
-    [domains = 1] degrades to plain sequential execution with no domain
-    spawned. Tasks are claimed by atomic index increment (work
-    stealing), so the assignment of task index to domain is
-    nondeterministic — callers must make each task's effect depend only
-    on its index (as {!Montecarlo.generate_parallel} does with
-    per-instance RNG streams) for results to be reproducible.
+    variable. In unsupervised runs the submitting domain participates
+    in every job, so [domains = 1] degrades to plain sequential
+    execution with no domain spawned. Tasks are claimed by atomic index
+    increment (work stealing), so the assignment of task index to
+    domain is nondeterministic — callers must make each task's effect
+    depend only on its index (as {!Montecarlo.generate_parallel} does
+    with per-instance RNG streams) for results to be reproducible.
+
+    Supervision: [run ~deadline_s] bounds how long a job may take.
+    Every task claim stamps the claiming worker's heartbeat; when the
+    deadline passes, the job's remaining tasks are drained, workers
+    still stuck inside a task after a short grace are cut loose
+    (abandoned, never joined — a domain cannot be killed) and replaced
+    by fresh domains, and {!Timeout} is raised. The pool stays
+    serviceable: the next [run] finds a full complement of workers
+    (verified by [Stc_qa.Faults.check_pool_deadline]).
 
     Generalises the hand-rolled [Domain.spawn] loop that used to live in
     [Montecarlo]; also drives the floor serving engine's batches
@@ -16,6 +25,15 @@
 
 type t
 
+exception Timeout
+(** A [run ~deadline_s] job exceeded its deadline. The job's effects on
+    completed tasks stand; unclaimed tasks never ran. *)
+
+type stats = {
+  timeouts : int;   (** jobs abandoned at their deadline *)
+  respawned : int;  (** stalled workers replaced by fresh domains *)
+}
+
 val create : domains:int -> t
 (** Spawns [domains - 1] helper domains immediately. Raises
     [Invalid_argument] when [domains < 1]. *)
@@ -23,7 +41,7 @@ val create : domains:int -> t
 val domains : t -> int
 (** Total parallelism including the submitting domain. *)
 
-val run : t -> n:int -> (int -> unit) -> unit
+val run : ?deadline_s:float -> t -> n:int -> (int -> unit) -> unit
 (** [run t ~n f] executes [f 0 .. f (n-1)] across the pool and returns
     when all have finished. [n = 0] is a no-op. If any task raises, the
     first exception is re-raised in the submitter after the remaining
@@ -31,10 +49,32 @@ val run : t -> n:int -> (int -> unit) -> unit
     usable and the next [run] starts with a clean error slot (verified
     by [Stc_qa.Faults.check_pool_worker_failure]). Not reentrant: one
     job at a time per pool. Raises [Invalid_argument] after
-    {!shutdown}. *)
+    {!shutdown}.
+
+    With [deadline_s] the job runs supervised: tasks execute only on
+    helper domains while the submitter stays preemptible — it spins
+    briefly, then sleep-polls for completion. The first supervised run
+    grows the helper set to [domains], so supervised task parallelism
+    matches the configured level (later plain runs then have the
+    submitter plus [domains] helpers claiming tasks). If the job
+    is not done within [deadline_s] seconds it is abandoned and
+    {!Timeout} is raised, within the deadline plus a small fixed grace.
+    A worker still stuck inside a task at that point is replaced, so a
+    stalled (non-cooperative) task cannot brick the pool; the stuck
+    domain exits on its own if its task ever returns, and is never
+    joined. Raises [Invalid_argument] when [deadline_s <= 0]. *)
+
+val stats : t -> stats
+(** Cumulative supervision counters since [create]. *)
+
+val heartbeat_ages : t -> float array
+(** Seconds since each live helper last claimed a task (or was
+    spawned); one entry per helper, in no particular order. An entry
+    much older than its peers during a run marks the stalled worker. *)
 
 val shutdown : t -> unit
-(** Joins the helper domains. Idempotent; the pool cannot be reused. *)
+(** Joins the live helper domains (abandoned workers are not waited
+    for). Idempotent; the pool cannot be reused. *)
 
 val with_pool : domains:int -> (t -> 'a) -> 'a
 (** [create], run the callback, always [shutdown]. *)

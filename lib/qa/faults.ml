@@ -62,7 +62,7 @@ let apply_flow_fault fault text =
    than obviously unparsable — the harder case for the loader. *)
 let mutation_chars = "0123456789-+. eEnaif%kspdrvcbml\n"
 
-let random_flow_fault rng text =
+let random_text_fault rng ~versions text =
   let len = Stdlib.max 1 (String.length text) in
   let n_lines = List.length (split_lines text) in
   match Rng.int rng 5 with
@@ -73,10 +73,16 @@ let random_flow_fault rng text =
         mutation_chars.[Rng.int rng (String.length mutation_chars)] )
   | 2 -> Delete_line (Rng.int rng n_lines)
   | 3 -> Duplicate_line (Rng.int rng n_lines)
-  | _ ->
-    Version_skew
-      (Rng.pick rng
-         [| "stc-flow-2"; "stc-flow-0"; "STC-FLOW-1"; "stc-floww-1"; "" |])
+  | _ -> Version_skew (Rng.pick rng versions)
+
+let random_flow_fault rng text =
+  random_text_fault rng text
+    ~versions:[| "stc-flow-2"; "stc-flow-0"; "STC-FLOW-1"; "stc-floww-1"; "" |]
+
+let random_journal_fault rng text =
+  random_text_fault rng text
+    ~versions:
+      [| "stc-journal-2"; "stc-journal-0"; "STC-JOURNAL-1"; "stc-journall-1"; "" |]
 
 let canonical_or_reject text =
   match Flow_io.of_string text with
@@ -331,6 +337,129 @@ let check_floor_bad_rows rng ~trials flow =
       in
       go 0)
 
+(* ----------------------------- journals --------------------------- *)
+
+module Journal = Stc.Journal
+
+let journal_canonical_or_reject text =
+  match Journal.of_string text with
+  | exception e ->
+    errorf "Journal.of_string raised %s instead of returning a typed error"
+      (Printexc.to_string e)
+  | Error _ -> Ok `Rejected
+  | Ok replay ->
+    (match Journal.to_string replay with
+     | exception e ->
+       errorf "accepted corrupted journal fails to print: %s"
+         (Printexc.to_string e)
+     | Error e -> errorf "accepted corrupted journal fails to print: %s" e
+     | Ok printed ->
+       (match Journal.of_string printed with
+        | Ok again ->
+          if Journal.to_string again = Ok printed then Ok `Accepted
+          else Error "accepted journal's canonical form is not a fixed point"
+        | Error e ->
+          errorf "accepted journal's canonical form does not reparse: %s" e
+        | exception e ->
+          errorf "canonical journal reparse raised %s" (Printexc.to_string e)))
+
+let check_journal_corruption rng ~trials replay =
+  match Journal.to_string replay with
+  | Error e -> errorf "journal does not serialise: %s" e
+  | Ok text ->
+    let rejected = ref 0 and accepted = ref 0 in
+    let rec go i =
+      if i >= trials then Ok (!rejected, !accepted)
+      else begin
+        let fault = random_journal_fault rng text in
+        let corrupted = apply_flow_fault fault text in
+        match journal_canonical_or_reject corrupted with
+        | Error e -> errorf "fault %S: %s" (describe_flow_fault fault) e
+        | Ok `Rejected ->
+          incr rejected;
+          go (i + 1)
+        | Ok `Accepted ->
+          incr accepted;
+          go (i + 1)
+      end
+    in
+    go 0
+
+let check_journal_truncation () =
+  let entry i =
+    {
+      Journal.spec_index = i * 2;
+      accepted = i mod 2 = 0;
+      error = 0.25 /. float_of_int (i + 1);
+      model = Stc.Guard_band.constant (if i mod 2 = 0 then 1 else -1);
+    }
+  in
+  let replay =
+    {
+      Journal.fingerprint = "0123456789abcdef";
+      entries = Array.init 3 entry;
+      complete = true;
+    }
+  in
+  match Journal.to_string replay with
+  | Error e -> errorf "journal does not serialise: %s" e
+  | Ok text ->
+    let* () =
+      match
+        Journal.of_string (apply_flow_fault (Version_skew "stc-journal-2") text)
+      with
+      | Ok _ ->
+        Error "a stc-journal-2 file was accepted by the stc-journal-1 loader"
+      | Error e ->
+        if contains ~sub:"unsupported journal version" e then Ok ()
+        else errorf "version-skew error does not name the version: %S" e
+      | exception e -> errorf "version skew raised %s" (Printexc.to_string e)
+    in
+    (* a cut at a record boundary is the legal crash artefact: the
+       journal must load as an incomplete run, not be rejected *)
+    let lines = split_lines text in
+    let boundary =
+      (* header (2 lines) + one whole entry (step line + model line) *)
+      join_lines (List.filteri (fun i _ -> i < 4) lines) ^ "\n"
+    in
+    let* () =
+      match Journal.of_string boundary with
+      | Ok r ->
+        if (not r.Journal.complete) && Array.length r.Journal.entries = 1 then
+          Ok ()
+        else
+          errorf "boundary cut loaded as complete=%b with %d entries"
+            r.Journal.complete
+            (Array.length r.Journal.entries)
+      | Error e -> errorf "boundary cut rejected outright: %s" e
+      | exception e -> errorf "boundary cut raised %s" (Printexc.to_string e)
+    in
+    (* a cut inside a record is corruption and must carry a line number *)
+    let* () =
+      match Journal.of_string (String.sub text 0 (String.length text - 2)) with
+      | Ok _ -> Error "a mid-record cut was accepted"
+      | Error e ->
+        if contains ~sub:"line" e then Ok ()
+        else errorf "mid-record cut error has no line number: %S" e
+      | exception e -> errorf "mid-record cut raised %s" (Printexc.to_string e)
+    in
+    (* a reordered sequence number must be rejected with its line *)
+    let reseq =
+      join_lines
+        (List.map
+           (fun l ->
+             if String.length l >= 7 && String.sub l 0 7 = "step 1 " then
+               "step 7 " ^ String.sub l 7 (String.length l - 7)
+             else l)
+           lines)
+    in
+    (match Journal.of_string reseq with
+     | Ok _ -> Error "an out-of-order step sequence was accepted"
+     | Error e ->
+       if contains ~sub:"line" e && contains ~sub:"out of order" e then Ok ()
+       else errorf "reseq error does not locate the bad step: %S" e
+     | exception e -> errorf "reseq parse raised %s" (Printexc.to_string e))
+
 (* --------------------------- pool workers ------------------------- *)
 
 exception Injected_failure
@@ -400,3 +529,221 @@ let check_pool_misuse () =
     errorf "run after shutdown raised %s, not Invalid_argument"
       (Printexc.to_string e)
   | () -> Error "run after shutdown succeeded"
+
+let check_pool_deadline ~domains =
+  Pool.with_pool ~domains (fun pool ->
+      (* a supervised job that finishes in time is just a job *)
+      let hits = Array.make 32 0 in
+      let* () =
+        match Pool.run ~deadline_s:30.0 pool ~n:32 (fun i -> hits.(i) <- hits.(i) + 1)
+        with
+        | exception e ->
+          errorf "in-time supervised job raised %s" (Printexc.to_string e)
+        | () ->
+          if Array.for_all (fun h -> h = 1) hits then Ok ()
+          else Error "a supervised job lost or duplicated tasks"
+      in
+      (* a stalled worker must trip the deadline, promptly *)
+      let deadline_s = 0.15 in
+      let t0 = Unix.gettimeofday () in
+      let* () =
+        match
+          Pool.run ~deadline_s pool ~n:8 (fun i ->
+              if i = 0 then Unix.sleepf 1.5)
+        with
+        | exception Pool.Timeout ->
+          let dt = Unix.gettimeofday () -. t0 in
+          (* the stalled task sleeps 1.5 s: returning in far less shows
+             the supervisor did not wait for it *)
+          if dt < 1.0 then Ok ()
+          else errorf "Timeout took %.2f s against a %.2f s deadline" dt deadline_s
+        | exception e ->
+          errorf "stalled job raised %s, not Timeout" (Printexc.to_string e)
+        | () -> Error "a stalled job beat a deadline it could not meet"
+      in
+      let s = Pool.stats pool in
+      let* () =
+        if s.Pool.timeouts >= 1 then Ok ()
+        else errorf "timeout not counted: %d" s.Pool.timeouts
+      in
+      let* () =
+        if s.Pool.respawned >= 1 then Ok ()
+        else errorf "stalled worker not respawned: %d" s.Pool.respawned
+      in
+      (* the pool must accept the next job while the zombie still sleeps *)
+      let acc = Atomic.make 0 in
+      let* () =
+        match Pool.run pool ~n:100 (fun i -> ignore (Atomic.fetch_and_add acc i))
+        with
+        | exception e ->
+          errorf "pool unusable after a timeout: %s" (Printexc.to_string e)
+        | () ->
+          let total = Atomic.get acc in
+          if total = 99 * 100 / 2 then Ok ()
+          else errorf "post-timeout job lost work: sum %d" total
+      in
+      match Pool.run ~deadline_s:30.0 pool ~n:16 ignore with
+      | exception e ->
+        errorf "supervised run after a timeout raised %s" (Printexc.to_string e)
+      | () -> Ok ())
+
+(* ------------------------ degraded serving ------------------------ *)
+
+module Floor_retry = Stc_floor.Retry
+
+(* A flow whose model verdict is Guard for every in-range device: the
+   tight side votes fail, the loose side votes pass. Every row is then
+   escalated to the retest callback, the surface under test. *)
+let always_guard_flow () =
+  let spec name =
+    Spec.make ~name ~unit_label:"" ~nominal:0.5 ~lower:0.0 ~upper:1.0
+  in
+  {
+    Compaction.specs = [| spec "kept"; spec "dropped" |];
+    kept = [| 0 |];
+    dropped = [| 1 |];
+    band =
+      Some
+        (Guard_band.of_models
+           ~tight:(Guard_band.constant (-1))
+           ~loose:(Guard_band.constant 1));
+    guard_fraction = 0.01;
+    measured_guard = false;
+  }
+
+let guard_rows n = Array.init n (fun _ -> [| 0.5; 0.5 |])
+
+let quick_retry ~attempts =
+  {
+    Floor_retry.default_policy with
+    Floor_retry.attempts;
+    base_delay_s = 1e-4;
+    max_delay_s = 1e-3;
+  }
+
+exception Station_down
+
+let check_floor_flaky_retest ~fail_first =
+  Floor.with_engine (always_guard_flow ()) (fun engine ->
+      let calls = ref 0 in
+      let retest _row =
+        incr calls;
+        if !calls <= fail_first then raise Station_down;
+        true
+      in
+      let retry = quick_retry ~attempts:(fail_first + 2) in
+      match Floor.process ~retest ~retry engine (guard_rows 1) with
+      | exception e ->
+        errorf "flaky retest leaked %s through the retry policy"
+          (Printexc.to_string e)
+      | out ->
+        let s = Floor.stats engine in
+        if out.(0).Floor.bin <> Stc.Tester.Ship then
+          errorf "device not shipped after %d transient failures" fail_first
+        else if s.Floor.retries <> fail_first then
+          errorf "expected %d retries counted, got %d" fail_first
+            s.Floor.retries
+        else if s.Floor.degraded <> 0 || Floor.degraded engine then
+          Error "a recovered retest left the engine degraded"
+        else Ok ())
+
+let check_floor_degraded ~classify_permanent =
+  Floor.with_engine (always_guard_flow ()) (fun engine ->
+      let calls = ref 0 in
+      let retest _row =
+        incr calls;
+        raise Station_down
+      in
+      let retry =
+        let p = quick_retry ~attempts:3 in
+        if classify_permanent then
+          { p with Floor_retry.classify = (fun _ -> Floor_retry.Permanent) }
+        else p
+      in
+      let n = 4 in
+      match Floor.process ~retest ~retry engine (guard_rows n) with
+      | exception e ->
+        errorf "failing retest leaked %s instead of degrading"
+          (Printexc.to_string e)
+      | out ->
+        let s = Floor.stats engine in
+        let* () =
+          if Array.for_all (fun o -> o.Floor.bin = Stc.Tester.Retest) out then
+            Ok ()
+          else Error "a device was dropped or mis-binned under failure"
+        in
+        let* () =
+          if s.Floor.devices = n && s.Floor.degraded = n then Ok ()
+          else
+            errorf "expected %d devices all degraded, got %d devices, %d degraded"
+              n s.Floor.devices s.Floor.degraded
+        in
+        let* () =
+          if Floor.degraded engine then Ok ()
+          else Error "engine not flagged degraded after a permanent failure"
+        in
+        let* () =
+          (* permanent classification must not retry; transient must *)
+          let expected_retries = if classify_permanent then 0 else 2 in
+          if s.Floor.retries = expected_retries then Ok ()
+          else
+            errorf "expected %d retries, got %d" expected_retries
+              s.Floor.retries
+        in
+        let* () =
+          if Floor.throughput engine > 0.0 then Ok ()
+          else Error "throughput not positive under degradation"
+        in
+        (* degraded mode sheds without hammering the dead station *)
+        let before = !calls in
+        let _ = Floor.process ~retest ~retry engine (guard_rows 2) in
+        let* () =
+          if !calls = before then Ok ()
+          else Error "degraded mode still calls the failed station"
+        in
+        let* () =
+          if (Floor.stats engine).Floor.degraded = n + 2 then Ok ()
+          else Error "devices shed in degraded mode not counted"
+        in
+        Floor.reset_stats engine;
+        let* () =
+          if Floor.degraded engine then Error "reset_stats kept degraded mode"
+          else Ok ()
+        in
+        if Floor.stats engine = Floor.empty_stats then Ok ()
+        else Error "reset_stats left counters behind")
+
+let check_floor_batch_deadline () =
+  Floor.with_engine (always_guard_flow ()) (fun engine ->
+      let retest _row =
+        Unix.sleepf 0.03;
+        true
+      in
+      let n = 8 in
+      match
+        Floor.process ~retest ~batch_deadline_s:0.05 engine (guard_rows n)
+      with
+      | exception e ->
+        errorf "batch deadline raised %s" (Printexc.to_string e)
+      | out ->
+        let s = Floor.stats engine in
+        let* () =
+          if Array.length out = n then Ok ()
+          else Error "devices dropped at the batch deadline"
+        in
+        let* () =
+          if s.Floor.shipped >= 1 then Ok ()
+          else Error "no device served before the deadline"
+        in
+        let* () =
+          if s.Floor.degraded >= 1 then Ok ()
+          else Error "no device shed after the deadline"
+        in
+        let* () =
+          if s.Floor.shipped + s.Floor.degraded = n then Ok ()
+          else errorf "shipped %d + shed %d does not cover %d devices"
+                 s.Floor.shipped s.Floor.degraded n
+        in
+        if Floor.degraded engine then
+          Error "a batch deadline must not latch degraded mode"
+        else Ok ())

@@ -49,6 +49,26 @@ val check_version_skew : Stc.Compaction.flow -> (unit, string) result
     the unsupported version, and a truncated file with one that says
     the file is truncated. *)
 
+val random_journal_fault : Rng.t -> string -> flow_fault
+(** As {!random_flow_fault}, with journal version strings — journals
+    share the line-oriented text shape, so the fault algebra is the
+    same. *)
+
+val check_journal_corruption :
+  Rng.t -> trials:int -> Stc.Journal.replay -> (int * int, string) result
+(** Applies [trials] random faults to the journal's serialized form and
+    feeds each to {!Stc.Journal.of_string}: typed [Error] (counted
+    first) or a canonically re-serialising [Ok] (counted second; cuts
+    at record boundaries are legal crash artefacts and land here) —
+    never an exception. *)
+
+val check_journal_truncation : unit -> (unit, string) result
+(** The journal loader's contract at its edges, on a fixed 3-entry
+    journal: a future version header is rejected naming the version; a
+    cut at a record boundary loads as an incomplete run; a cut inside a
+    record and an out-of-order step sequence are rejected with line
+    numbers. *)
+
 (* --------------------------- device rows -------------------------- *)
 
 type row_fault =
@@ -95,3 +115,34 @@ val check_pool_worker_delay : domains:int -> delay_s:float -> (unit, string) res
 val check_pool_misuse : unit -> (unit, string) result
 (** Zero-task jobs are no-ops; [run] after [shutdown] and invalid
     domain counts raise [Invalid_argument]; [shutdown] is idempotent. *)
+
+val check_pool_deadline : domains:int -> (unit, string) result
+(** The supervision contract of [Pool.run ~deadline_s]: an in-time
+    supervised job runs every task exactly once; a job with a stalled
+    (1.5 s sleeping) task raises [Pool.Timeout] long before the stall
+    clears; the timeout and the respawned worker show in [Pool.stats];
+    and the same pool then runs both a plain and a supervised job to
+    completion while the abandoned domain is still asleep. *)
+
+(* ------------------------ degraded serving ------------------------ *)
+
+val check_floor_flaky_retest : fail_first:int -> (unit, string) result
+(** A retest callback that raises on its first [fail_first] calls and
+    then succeeds: with a retry budget of [fail_first + 2] the device
+    must ship, [stats.retries] must equal [fail_first], and the engine
+    must not be degraded. *)
+
+val check_floor_degraded : classify_permanent:bool -> (unit, string) result
+(** A retest callback that always raises: every guard device is binned
+    [Retest] (none dropped), counted [degraded], the engine latches
+    degraded mode with positive throughput, later batches shed without
+    calling the dead station, and [reset_stats] restores normal
+    operation with zeroed counters. With [classify_permanent] the
+    policy stops at the first attempt (no retries); otherwise the
+    transient budget is exhausted first. *)
+
+val check_floor_batch_deadline : unit -> (unit, string) result
+(** A slow (30 ms) but healthy retest against a 50 ms batch deadline:
+    early devices ship, devices past the deadline are shed as
+    [degraded], nothing is dropped, and the deadline does not latch
+    degraded mode. *)

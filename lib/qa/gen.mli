@@ -72,6 +72,18 @@ val model : dim:int -> Stc.Guard_band.model QCheck.Gen.t
 val band : dim:int -> Stc.Guard_band.t QCheck.Gen.t
 (** Single-model or tight/loose pair. *)
 
+(* ---------------------------- journals ---------------------------- *)
+
+val fingerprint : string QCheck.Gen.t
+(** 16 lowercase hex digits — the shape {!Stc.Journal} requires. *)
+
+val journal_entry : dim:int -> Stc.Journal.entry QCheck.Gen.t
+(** Finite error, serialisable model (never [Opaque]). *)
+
+val journal : Stc.Journal.replay QCheck.Gen.t
+(** 0–8 entries of one model dimensionality, complete or interrupted —
+    both legal on-disk shapes of a journal. *)
+
 (* ------------------------------ flows ----------------------------- *)
 
 val flow : Stc.Compaction.flow QCheck.Gen.t

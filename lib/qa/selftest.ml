@@ -153,6 +153,30 @@ let run ?(seed = 2005) ?(flows = 1000) ?(rows_per_flow = 16)
          let* () = Faults.check_pool_worker_delay ~domains ~delay_s:0.02 in
          Faults.check_pool_misuse ()));
 
+  (* 6. resilience: journals, supervised deadlines, degraded serving *)
+  push
+    (section ~name:"fault: corrupted journals"
+       ~cases:(Stdlib.max 5 (flows / 50)) (fun _ ->
+         let replay = Gen.journal st in
+         let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+         let* () =
+           match Faults.check_journal_corruption rng ~trials:20 replay with
+           | Ok (_rejected, _accepted) -> Ok ()
+           | Error _ as e -> e
+         in
+         Faults.check_journal_truncation ()));
+
+  push
+    (section ~name:"fault: pool deadlines" ~cases:2 (fun i ->
+         Faults.check_pool_deadline ~domains:(if i = 0 then 1 else 4)));
+
+  push
+    (section ~name:"fault: degraded serving" ~cases:3 (fun i ->
+         let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+         let* () = Faults.check_floor_flaky_retest ~fail_first:(1 + i) in
+         let* () = Faults.check_floor_degraded ~classify_permanent:(i mod 2 = 0) in
+         Faults.check_floor_batch_deadline ()));
+
   { seed; sections = List.rev !sections }
 
 let ok r = List.for_all (fun s -> s.failures = 0) r.sections

@@ -14,4 +14,4 @@ let () =
      @ Test_floor.suites
      @ Test_extensions.suites
      @ Test_integration.suites
-     @ Test_qa.suites)
+     @ Test_qa.suites @ Test_resilience.suites)
