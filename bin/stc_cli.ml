@@ -114,10 +114,9 @@ let journal_arg =
   Arg.(value & opt (some string) None
        & info [ "journal" ] ~docv:"FILE"
            ~doc:"Write-ahead journal for the greedy loop (stc-journal-1 \
-                 format): every accept/reject decision and its trained \
-                 model is flushed to $(docv) before the loop advances, so \
-                 a killed run can continue with $(b,--resume) instead of \
-                 retraining.")
+                 format): every accept/reject decision is flushed to \
+                 $(docv) before the loop advances, so a killed run can \
+                 continue with $(b,--resume) instead of retraining.")
 
 let resume_arg =
   Arg.(value & flag
@@ -156,9 +155,13 @@ let greedy_with_journal ~journal ~resume ~order config ~train ~test =
       fresh ()
     end
     else begin
-      match Journal.load ~path with
+      match Journal.recover ~path with
       | Error e -> die_data "cannot resume journal %s: %s" path e
-      | Ok r ->
+      | Ok (r, salvaged) ->
+        if salvaged > 0 then
+          Printf.printf
+            "journal %s: dropped a final record cut mid-write (%d bytes)\n%!"
+            path salvaged;
         if r.Journal.fingerprint <> fingerprint then
           die_data
             "journal %s was written for a different run (config, seed, \

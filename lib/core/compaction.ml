@@ -343,7 +343,7 @@ let greedy_resumable ?(order = Order.By_failure_count) ?(eval_each = false)
            | Some w ->
              journal_write "journal append"
                (Journal.append w
-                  { Journal.spec_index = candidate; accepted; error; model }));
+                  { Journal.spec_index = candidate; accepted; error }));
           (accepted, error)
         end
       in

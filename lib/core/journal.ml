@@ -6,7 +6,6 @@ type entry = {
   spec_index : int;
   accepted : bool;
   error : float;
-  model : Guard_band.model;
 }
 
 (* 64-bit FNV-1a; Int64 so the wrap-around is well defined on every
@@ -30,13 +29,9 @@ type writer = {
 }
 
 let entry_to_text ~seq e =
-  match Model_text.to_text e.model with
-  | Error err -> Error ("Journal: " ^ err)
-  | Ok model_text ->
-    Ok
-      (Printf.sprintf "step %d %d %d %s\n%s" seq e.spec_index
-         (if e.accepted then 1 else 0)
-         (fp e.error) model_text)
+  Printf.sprintf "step %d %d %d %s\n" seq e.spec_index
+    (if e.accepted then 1 else 0)
+    (fp e.error)
 
 let header_text ~fingerprint =
   Printf.sprintf "%s\nfingerprint %s\n" version fingerprint
@@ -55,15 +50,12 @@ let append w e =
   if w.closed then Error "Journal.append: writer is closed"
   else if w.finished then Error "Journal.append: journal is already complete"
   else begin
-    match entry_to_text ~seq:w.count e with
-    | Error _ as err -> err
-    | Ok text ->
-      (try
-         output_string w.oc text;
-         flush w.oc;
-         w.count <- w.count + 1;
-         Ok ()
-       with Sys_error e -> Error e)
+    try
+      output_string w.oc (entry_to_text ~seq:w.count e);
+      flush w.oc;
+      w.count <- w.count + 1;
+      Ok ()
+    with Sys_error e -> Error e
   end
 
 let finish w =
@@ -93,6 +85,19 @@ type replay = {
 }
 
 let of_string text =
+  (* a record is one line flushed whole, so a canonical journal always
+     ends with a newline; an unterminated final line is a record cut
+     inside write(2), even when its prefix happens to parse (a float
+     field truncated to "0." still reads as a float) *)
+  let* () =
+    let len = String.length text in
+    if len > 0 && text.[len - 1] <> '\n' then
+      Error
+        (Printf.sprintf
+           "line %d: journal ends without a newline (record cut mid-write)"
+           (count_lines text + 1))
+    else Ok ()
+  in
   let cur = cursor_of_string text in
   let* header = next_line cur in
   if header <> version then
@@ -155,41 +160,67 @@ let of_string text =
               | _ -> fail cur "accepted must be 0 or 1"
             in
             let* error = parse_float cur "step error" error in
-            let* model = Model_text.parse cur in
-            read_entries ({ spec_index; accepted; error; model } :: acc)
+            read_entries ({ spec_index; accepted; error } :: acc)
         | _ -> fail cur "malformed journal line (expected step or done)"
     in
     read_entries []
 
 let to_string r =
-  let buffer = Buffer.create 4096 in
+  let buffer = Buffer.create 1024 in
   Buffer.add_string buffer (header_text ~fingerprint:r.fingerprint);
-  let rec go i =
-    if i >= Array.length r.entries then Ok ()
-    else
-      match entry_to_text ~seq:i r.entries.(i) with
-      | Error _ as e -> e
-      | Ok text ->
-        Buffer.add_string buffer text;
-        go (i + 1)
-  in
-  match go 0 with
-  | Error _ as e -> e
-  | Ok () ->
-    if r.complete then
-      Buffer.add_string buffer
-        (Printf.sprintf "done %d\n" (Array.length r.entries));
-    Ok (Buffer.contents buffer)
+  Array.iteri
+    (fun i e -> Buffer.add_string buffer (entry_to_text ~seq:i e))
+    r.entries;
+  if r.complete then
+    Buffer.add_string buffer
+      (Printf.sprintf "done %d\n" (Array.length r.entries));
+  Buffer.contents buffer
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let load ~path =
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
+  match read_file path with
   | text -> of_string text
   | exception Sys_error e -> Error e
+
+(* Every record is one line flushed whole, so the only artefact a kill
+   or power loss inside write(2) can leave is a final line with no
+   terminating newline. A journal that fails the strict parse for any
+   other reason — mid-file damage, a mutated complete line — stays
+   rejected: that is corruption, not a crash. *)
+let recover ~path =
+  match read_file path with
+  | exception Sys_error e -> Error e
+  | text ->
+    (match of_string text with
+     | Ok r -> Ok (r, 0)
+     | Error strict_error ->
+       let len = String.length text in
+       if len = 0 || text.[len - 1] = '\n' then Error strict_error
+       else begin
+         let cut =
+           match String.rindex_opt text '\n' with
+           | Some i -> i + 1
+           | None -> 0
+         in
+         let prefix = String.sub text 0 cut in
+         match of_string prefix with
+         | Error _ -> Error strict_error
+         | Ok r ->
+           (try
+              let oc = open_out_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () ->
+                  output_string oc prefix;
+                  flush oc);
+              Ok (r, len - cut)
+            with Sys_error e -> Error e)
+       end)
 
 let open_append ~path ~fingerprint =
   match load ~path with

@@ -39,11 +39,22 @@ let delay_s policy ~retry =
     d *. (1.0 -. (j *. Rng.float rng))
   end
 
+(* OCaml runtime conditions are bugs or resource exhaustion, never a
+   flaky station: sleeping and calling again can only mask them. They
+   propagate regardless of what [policy.classify] would say. *)
+let fatal = function
+  | Out_of_memory | Stack_overflow | Assert_failure _ | Match_failure _
+  | Undefined_recursive_module _ ->
+    true
+  | _ -> false
+
 let run ?(sleep = Unix.sleepf) policy f =
   if policy.attempts < 1 then invalid_arg "Retry.run: attempts must be >= 1";
   let rec go attempt =
     match f () with
     | v -> (Ok v, attempt - 1)
+    | exception e when fatal e ->
+      Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ())
     | exception e ->
       (match policy.classify e with
        | Permanent -> (Error e, attempt - 1)

@@ -45,4 +45,10 @@ val run :
     last exception, paired with the number of retries actually
     performed (0 when the first attempt settles it). [sleep] defaults
     to [Unix.sleepf]; inject a stub to test schedules without waiting.
-    Raises [Invalid_argument] when [attempts < 1]. *)
+    Raises [Invalid_argument] when [attempts < 1].
+
+    OCaml runtime conditions ([Out_of_memory], [Stack_overflow],
+    [Assert_failure], [Match_failure]) re-raise immediately, regardless
+    of [policy.classify]: they signal a bug or exhausted resources, not
+    a transient station glitch, and retrying (or degrading) would only
+    mask them. *)

@@ -9,9 +9,10 @@ type job = {
 }
 
 type worker = {
-  mutable domain : unit Domain.t option;  (* dropped when zombied *)
+  mutable domain : unit Domain.t option;
   mutable busy_gen : int;  (* generation being executed, 0 = idle; under mutex *)
-  mutable zombie : bool;   (* abandoned: die when the stalled task returns *)
+  mutable zombie : bool;   (* abandoned: park as a spare when the task returns *)
+  mutable active : bool;   (* false = parked spare, takes no jobs; under mutex *)
   mutable heartbeat : float;  (* last task claim (Unix time); written by owner *)
 }
 
@@ -31,6 +32,7 @@ type t = {
   mutable error : exn option;  (* first exception raised by any live task *)
   mutable stop : bool;
   mutable workers : worker list;  (* live helpers; zombies are removed *)
+  mutable spares : worker list;  (* ex-zombie domains parked for reuse *)
   mutable timeouts : int;
   mutable respawned : int;
 }
@@ -63,7 +65,16 @@ let helper_loop t w initial_seen =
   let live = ref true in
   while !live do
     Mutex.lock t.mutex;
-    while (not t.stop) && t.generation = !seen do
+    (* [t.job = None] with an advanced generation means the job was
+       abandoned at a deadline before this helper woke (a parked helper,
+       or a domain still mid-spawn when the timeout fired): keep parking
+       until the next submission rather than dereferencing the cleared
+       slot. [seen] then skips the abandoned generation entirely.
+       Spares ([active = false]) park the same way until a respawn pass
+       reactivates them. *)
+    while
+      (not t.stop) && (t.generation = !seen || t.job = None || not w.active)
+    do
       Condition.wait t.start t.mutex
     done;
     if t.stop then begin
@@ -81,15 +92,29 @@ let helper_loop t w initial_seen =
       job.pending <- job.pending - 1;
       if job.pending = 0 then Condition.broadcast t.finished;
       (* zombied while stuck inside the abandoned job: a replacement
-         has already been spawned, so this domain just exits *)
-      if w.zombie then live := false;
+         took this worker's place, so park as a spare for the next
+         respawn pass to reuse. Never terminating helper domains
+         mid-run also keeps domain creation and domain termination from
+         overlapping, which the OCaml 5.1 runtime tolerates poorly
+         under churn (rare but real deadlocks in the domain machinery). *)
+      if w.zombie then begin
+        w.zombie <- false;
+        w.active <- false;
+        t.spares <- w :: t.spares
+      end;
       Mutex.unlock t.mutex
     end
   done
 
 let spawn_worker t initial_seen =
   let w =
-    { domain = None; busy_gen = 0; zombie = false; heartbeat = Unix.gettimeofday () }
+    {
+      domain = None;
+      busy_gen = 0;
+      zombie = false;
+      active = true;
+      heartbeat = Unix.gettimeofday ();
+    }
   in
   w.domain <- Some (Domain.spawn (fun () -> helper_loop t w initial_seen));
   w
@@ -108,6 +133,7 @@ let create ~domains =
       error = None;
       stop = false;
       workers = [];
+      spares = [];
       timeouts = 0;
       respawned = 0;
     }
@@ -146,7 +172,13 @@ let check_runnable t n =
 
 let run_participating t ~n f =
   let submitter =
-    { domain = None; busy_gen = 0; zombie = false; heartbeat = Unix.gettimeofday () }
+    {
+      domain = None;
+      busy_gen = 0;
+      zombie = false;
+      active = true;
+      heartbeat = Unix.gettimeofday ();
+    }
   in
   Mutex.lock t.mutex;
   if t.job <> None then begin
@@ -185,10 +217,22 @@ let run_supervised t ~n ~deadline_s f =
   (* the submitter must stay preemptible, so tasks run only on helper
      domains: grow the helper set to [domains] on first supervised use,
      keeping task parallelism at the configured level while the
-     supervisor only watches *)
-  while List.length t.workers < t.total do
-    t.workers <- spawn_worker t t.generation :: t.workers
-  done;
+     supervisor only watches. Spawning happens with the mutex released
+     so parked helpers are never blocked on a lock held across the
+     runtime's domain-creation machinery. *)
+  let rec grow () =
+    (* mutex held on entry and exit *)
+    let missing = t.total - List.length t.workers in
+    if missing > 0 then begin
+      let gen = t.generation in
+      Mutex.unlock t.mutex;
+      let fresh = List.init missing (fun _ -> spawn_worker t gen) in
+      Mutex.lock t.mutex;
+      t.workers <- fresh @ t.workers;
+      grow ()
+    end
+  in
+  grow ();
   let job = submit_locked t ~pending:(List.length t.workers) f n in
   Mutex.unlock t.mutex;
   let deadline = Unix.gettimeofday () +. deadline_s in
@@ -231,21 +275,34 @@ let run_supervised t ~n ~deadline_s f =
       if job.pending = 0 then Mutex.unlock t.mutex
       else if Unix.gettimeofday () >= grace_deadline then begin
         (* whoever is still inside the abandoned generation is stalled:
-           cut it loose and respawn, so the pool stays serviceable *)
+           cut it loose and replace it, so the pool stays serviceable.
+           Parked spares (ex-zombies whose stalled task eventually
+           returned) are reactivated first; only the shortfall costs a
+           fresh domain, spawned with the mutex released. *)
         let stalled, healthy =
           List.partition (fun w -> w.busy_gen = job.gen) t.workers
         in
-        let replacements =
-          List.map
-            (fun w ->
-              w.zombie <- true;
-              w.domain <- None;
-              spawn_worker t t.generation)
-            stalled
+        List.iter (fun w -> w.zombie <- true) stalled;
+        let rec reuse n reused spares =
+          match spares with
+          | w :: rest when n > 0 ->
+            w.active <- true;
+            reuse (n - 1) (w :: reused) rest
+          | _ -> (reused, spares)
         in
-        t.workers <- healthy @ replacements;
-        t.respawned <- t.respawned + List.length replacements;
-        Mutex.unlock t.mutex
+        let reused, spares = reuse (List.length stalled) [] t.spares in
+        t.spares <- spares;
+        t.workers <- healthy @ reused;
+        t.respawned <- t.respawned + List.length stalled;
+        let missing = List.length stalled - List.length reused in
+        let gen = t.generation in
+        Mutex.unlock t.mutex;
+        if missing > 0 then begin
+          let fresh = List.init missing (fun _ -> spawn_worker t gen) in
+          Mutex.lock t.mutex;
+          t.workers <- fresh @ t.workers;
+          Mutex.unlock t.mutex
+        end
       end
       else begin
         Mutex.unlock t.mutex;
@@ -271,8 +328,11 @@ let shutdown t =
   if not t.stop then begin
     t.stop <- true;
     Condition.broadcast t.start;
-    let joinable = List.filter_map (fun w -> w.domain) t.workers in
+    let joinable =
+      List.filter_map (fun w -> w.domain) (t.workers @ t.spares)
+    in
     t.workers <- [];
+    t.spares <- [];
     Mutex.unlock t.mutex;
     List.iter Domain.join joinable
   end

@@ -12,11 +12,16 @@
     Supervision: [run ~deadline_s] bounds how long a job may take.
     Every task claim stamps the claiming worker's heartbeat; when the
     deadline passes, the job's remaining tasks are drained, workers
-    still stuck inside a task after a short grace are cut loose
-    (abandoned, never joined — a domain cannot be killed) and replaced
-    by fresh domains, and {!Timeout} is raised. The pool stays
-    serviceable: the next [run] finds a full complement of workers
-    (verified by [Stc_qa.Faults.check_pool_deadline]).
+    still stuck inside a task after a short grace are cut loose (a
+    domain cannot be killed) and replaced, and {!Timeout} is raised.
+    A cut-loose domain whose task eventually returns parks as a spare
+    and is reused by a later replacement pass, so repeated timeouts do
+    not leak a domain per stall; only a shortfall of spares costs a
+    fresh [Domain.spawn]. Helper domains are therefore never terminated
+    mid-run — deliberate, as overlapping domain creation with domain
+    termination can deadlock the OCaml 5.1 runtime under churn. The
+    pool stays serviceable: the next [run] finds a full complement of
+    workers (verified by [Stc_qa.Faults.check_pool_deadline]).
 
     Generalises the hand-rolled [Domain.spawn] loop that used to live in
     [Montecarlo]; also drives the floor serving engine's batches
@@ -31,7 +36,7 @@ exception Timeout
 
 type stats = {
   timeouts : int;   (** jobs abandoned at their deadline *)
-  respawned : int;  (** stalled workers replaced by fresh domains *)
+  respawned : int;  (** stalled workers cut loose and replaced *)
 }
 
 val create : domains:int -> t
@@ -59,10 +64,11 @@ val run : ?deadline_s:float -> t -> n:int -> (int -> unit) -> unit
     submitter plus [domains] helpers claiming tasks). If the job
     is not done within [deadline_s] seconds it is abandoned and
     {!Timeout} is raised, within the deadline plus a small fixed grace.
-    A worker still stuck inside a task at that point is replaced, so a
+    A worker still stuck inside a task at that point is replaced (by a
+    parked spare when one is available, else a fresh domain), so a
     stalled (non-cooperative) task cannot brick the pool; the stuck
-    domain exits on its own if its task ever returns, and is never
-    joined. Raises [Invalid_argument] when [deadline_s <= 0]. *)
+    domain parks as a spare if its task ever returns. Raises
+    [Invalid_argument] when [deadline_s <= 0]. *)
 
 val stats : t -> stats
 (** Cumulative supervision counters since [create]. *)
@@ -73,8 +79,9 @@ val heartbeat_ages : t -> float array
     much older than its peers during a run marks the stalled worker. *)
 
 val shutdown : t -> unit
-(** Joins the live helper domains (abandoned workers are not waited
-    for). Idempotent; the pool cannot be reused. *)
+(** Joins the live helper domains and parked spares (a cut-loose worker
+    still stuck inside its task is not waited for). Idempotent; the
+    pool cannot be reused. *)
 
 val with_pool : domains:int -> (t -> 'a) -> 'a
 (** [create], run the callback, always [shutdown]. *)

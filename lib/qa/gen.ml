@@ -159,18 +159,16 @@ let fingerprint =
   in
   G.string_size ~gen:hex_char (G.return 16)
 
-let journal_entry ~dim =
+let journal_entry =
   let* spec_index = G.int_range 0 19 in
   let* accepted = G.bool in
   let* error = G.float_range 0.0 0.5 in
-  let* model = model ~dim in
-  G.return { Stc.Journal.spec_index; accepted; error; model }
+  G.return { Stc.Journal.spec_index; accepted; error }
 
 let journal =
-  let* dim = G.int_range 1 4 in
   let* fingerprint = fingerprint in
   let* n = G.int_range 0 8 in
-  let* entries = G.array_size (G.return n) (journal_entry ~dim) in
+  let* entries = G.array_size (G.return n) journal_entry in
   let* complete = G.bool in
   G.return { Stc.Journal.fingerprint; entries; complete }
 

@@ -77,12 +77,12 @@ val band : dim:int -> Stc.Guard_band.t QCheck.Gen.t
 val fingerprint : string QCheck.Gen.t
 (** 16 lowercase hex digits — the shape {!Stc.Journal} requires. *)
 
-val journal_entry : dim:int -> Stc.Journal.entry QCheck.Gen.t
-(** Finite error, serialisable model (never [Opaque]). *)
+val journal_entry : Stc.Journal.entry QCheck.Gen.t
+(** Finite error in [0, 0.5], spec index in [0, 19]. *)
 
 val journal : Stc.Journal.replay QCheck.Gen.t
-(** 0–8 entries of one model dimensionality, complete or interrupted —
-    both legal on-disk shapes of a journal. *)
+(** 0–8 entries, complete or interrupted — both legal on-disk shapes
+    of a journal. *)
 
 (* ------------------------------ flows ----------------------------- *)
 

@@ -79,22 +79,14 @@ let format_tests =
           {
             Journal.fingerprint = "0123456789abcdef";
             entries =
-              [|
-                {
-                  Journal.spec_index = 4;
-                  accepted = true;
-                  error = 0.125;
-                  model = Guard_band.constant 1;
-                };
-              |];
+              [| { Journal.spec_index = 4; accepted = true; error = 0.125 } |];
             complete = true;
           }
         in
-        Alcotest.(check (result string string))
+        Alcotest.(check string)
           "exact bytes"
-          (Ok
-             "stc-journal-1\nfingerprint 0123456789abcdef\n\
-              step 0 4 1 0.125\nmodel constant 1\ndone 1\n")
+          "stc-journal-1\nfingerprint 0123456789abcdef\nstep 0 4 1 0.125\n\
+           done 1\n"
           (Journal.to_string replay));
     Alcotest.test_case "truncation and mutation contract" `Quick (fun () ->
         check_fault (Faults.check_journal_truncation ()));
@@ -111,12 +103,7 @@ let format_tests =
               | Error e -> Alcotest.failf "create: %s" e
             in
             let entry =
-              {
-                Journal.spec_index = 0;
-                accepted = false;
-                error = 0.5;
-                model = Guard_band.constant (-1);
-              }
+              { Journal.spec_index = 0; accepted = false; error = 0.5 }
             in
             Alcotest.(check (result unit string)) "append" (Ok ())
               (Journal.append w entry);
@@ -156,29 +143,78 @@ let format_tests =
                | Ok _ -> Alcotest.fail "complete journal reopened"
                | Error _ -> ())
             | Error e -> Alcotest.failf "open_append: %s" e));
+    Alcotest.test_case "recover salvages a final record cut mid-write" `Quick
+      (fun () ->
+        with_temp (fun path ->
+            let fingerprint = "0123456789abcdef" in
+            (match Journal.create ~path ~fingerprint with
+             | Error e -> Alcotest.failf "create: %s" e
+             | Ok w ->
+               for i = 0 to 1 do
+                 match
+                   Journal.append w
+                     { Journal.spec_index = i; accepted = true; error = 0.25 }
+                 with
+                 | Ok () -> ()
+                 | Error e -> Alcotest.failf "append: %s" e
+               done;
+               Journal.close w);
+            let intact = read_file path in
+            (* a kill inside write(2): the final record has no newline *)
+            let oc =
+              open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+            in
+            output_string oc "step 2 5 1 0.";
+            close_out oc;
+            (match Journal.load ~path with
+             | Ok _ -> Alcotest.fail "strict load accepted a partial record"
+             | Error e ->
+               Alcotest.(check bool) "strict error has a line" true
+                 (contains ~affix:"line" e));
+            (match Journal.recover ~path with
+             | Error e -> Alcotest.failf "recover: %s" e
+             | Ok (r, dropped) ->
+               Alcotest.(check int) "intact entries survive" 2
+                 (Array.length r.Journal.entries);
+               Alcotest.(check bool) "incomplete" false r.Journal.complete;
+               Alcotest.(check bool) "partial bytes dropped" true (dropped > 0));
+            Alcotest.(check string) "file truncated to the intact prefix"
+              intact (read_file path);
+            match Journal.open_append ~path ~fingerprint with
+            | Error e -> Alcotest.failf "open_append after recover: %s" e
+            | Ok w ->
+              Alcotest.(check int) "continues at the boundary" 2
+                (Journal.entries_written w);
+              Journal.close w));
+    Alcotest.test_case "recover rejects mid-file corruption" `Quick (fun () ->
+        with_temp (fun path ->
+            let text =
+              "stc-journal-1\nfingerprint 0123456789abcdef\n\
+               step 9 0 1 0.25\nstep 1 1 1 0.25\n"
+            in
+            let oc = open_out_bin path in
+            output_string oc text;
+            close_out oc;
+            match Journal.recover ~path with
+            | Ok _ -> Alcotest.fail "recover accepted mid-file corruption"
+            | Error e ->
+              Alcotest.(check bool) "carries a line number" true
+                (contains ~affix:"line" e)));
   ]
 
 (* qcheck: any generated journal prints canonically; any corruption of
    it is rejected with a typed error or re-accepted canonically *)
-let arb_journal =
-  QCheck.make
-    ~print:(fun r ->
-      match Journal.to_string r with
-      | Ok text -> text
-      | Error e -> "<unserialisable journal: " ^ e ^ ">")
-    Gen.journal
+let arb_journal = QCheck.make ~print:Journal.to_string Gen.journal
 
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
       QCheck.Test.make ~count:200 ~name:"journal print/parse canonical"
         arb_journal (fun r ->
-          match Journal.to_string r with
-          | Error e -> QCheck.Test.fail_reportf "does not print: %s" e
-          | Ok text ->
-            (match Journal.of_string text with
-             | Error e -> QCheck.Test.fail_reportf "does not reparse: %s" e
-             | Ok r' -> Journal.to_string r' = Ok text));
+          let text = Journal.to_string r in
+          match Journal.of_string text with
+          | Error e -> QCheck.Test.fail_reportf "does not reparse: %s" e
+          | Ok r' -> Journal.to_string r' = text);
       QCheck.Test.make ~count:50 ~name:"journal corruption never escapes"
         arb_journal (fun r ->
           let rng = Rng.create 77 in
@@ -287,7 +323,6 @@ let resume_tests =
               Journal.spec_index = (order.(0) + 1) mod Array.length specs;
               accepted = true;
               error = 0.0;
-              model = Guard_band.constant 1;
             };
           |]
         in
@@ -442,6 +477,18 @@ let retry_tests =
         (match result with
          | Error Broken -> ()
          | _ -> Alcotest.fail "expected Broken"));
+    Alcotest.test_case "fatal runtime exceptions are never retried" `Quick
+      (fun () ->
+        let calls = ref 0 in
+        let p = { Retry.default_policy with Retry.attempts = 5 } in
+        (match
+           Retry.run ~sleep:ignore p (fun () ->
+               incr calls;
+               assert false)
+         with
+        | exception Assert_failure _ -> ()
+        | _ -> Alcotest.fail "Assert_failure did not propagate");
+        Alcotest.(check int) "single attempt" 1 !calls);
     Alcotest.test_case "attempts < 1 rejected" `Quick (fun () ->
         Alcotest.check_raises "invalid"
           (Invalid_argument "Retry.run: attempts must be >= 1")
@@ -466,6 +513,37 @@ let floor_tests =
         check_fault (Faults.check_floor_degraded ~classify_permanent:true));
     Alcotest.test_case "batch deadline sheds, does not latch" `Quick (fun () ->
         check_fault (Faults.check_floor_batch_deadline ()));
+    Alcotest.test_case "fatal retest bug surfaces, does not degrade" `Quick
+      (fun () ->
+        (* every in-range device escalates: the tight model votes fail,
+           the loose one votes pass *)
+        let spec name =
+          Spec.make ~name ~unit_label:"" ~nominal:0.5 ~lower:0.0 ~upper:1.0
+        in
+        let guard_flow =
+          {
+            Compaction.specs = [| spec "kept"; spec "dropped" |];
+            kept = [| 0 |];
+            dropped = [| 1 |];
+            band =
+              Some
+                (Guard_band.of_models
+                   ~tight:(Guard_band.constant (-1))
+                   ~loose:(Guard_band.constant 1));
+            guard_fraction = 0.01;
+            measured_guard = false;
+          }
+        in
+        Floor.with_engine guard_flow (fun engine ->
+            let retest _row : bool = assert false in
+            (match
+               Floor.process ~retest ~retry:Retry.default_policy engine
+                 [| [| 0.5; 0.5 |] |]
+             with
+            | exception Assert_failure _ -> ()
+            | _ -> Alcotest.fail "a retest bug was swallowed by the policy");
+            Alcotest.(check bool) "a bug must not latch degraded mode" false
+              (Floor.degraded engine)));
     Alcotest.test_case "strict rejection leaves stats untouched" `Quick
       (fun () ->
         let flow = Lazy.force trained_flow in
@@ -533,6 +611,44 @@ let pool_tests =
               (fun age ->
                 Alcotest.(check bool) "recent" true (age >= 0.0 && age < 10.0))
               ages));
+    Alcotest.test_case "timeout with parked helpers does not brick the pool"
+      `Slow (fun () ->
+        (* regression: with fewer tasks than domains, some helpers are
+           still parked (or mid-spawn) when the deadline clears the job
+           slot; they must wait for the next submission, not die on the
+           empty slot and leave every later job's pending count short *)
+        Pool.with_pool ~domains:4 (fun pool ->
+            for round = 1 to 4 do
+              (* a genuine stall: the claiming workers are zombied at the
+                 end of the grace pass and replacements spawned *)
+              (match
+                 Pool.run ~deadline_s:0.02 pool ~n:2 (fun _ ->
+                     Unix.sleepf 0.3)
+               with
+              | exception Pool.Timeout -> ()
+              | () ->
+                Alcotest.failf "round %d: stalled job beat the deadline" round);
+              (* immediately fire deadlines so short they clear the job
+                 slot while the replacements are still booting and the
+                 surviving helpers are still parked (a run fast enough
+                 to finish anyway is also legal) *)
+              for _ = 1 to 5 do
+                match Pool.run ~deadline_s:1e-6 pool ~n:4 (fun _ -> ()) with
+                | exception Pool.Timeout -> ()
+                | () -> ()
+              done
+            done;
+            let acc = Atomic.make 0 in
+            match
+              Pool.run ~deadline_s:30.0 pool ~n:100 (fun i ->
+                  ignore (Atomic.fetch_and_add acc i))
+            with
+            | exception e ->
+              Alcotest.failf "pool bricked after timeouts: %s"
+                (Printexc.to_string e)
+            | () ->
+              Alcotest.(check int) "no work lost" (99 * 100 / 2)
+                (Atomic.get acc)));
     Alcotest.test_case "stats start clean" `Quick (fun () ->
         Pool.with_pool ~domains:2 (fun pool ->
             let s = Pool.stats pool in
