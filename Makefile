@@ -5,7 +5,7 @@
 # replay the same stream.
 QA_SEED ?= 2005
 
-.PHONY: all build check test bench examples qa ci clean
+.PHONY: all build check test bench bench-json golden examples qa ci clean
 
 all: build
 
@@ -20,6 +20,18 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# The bench harness always writes BENCH_compaction.json, BENCH_svm.json
+# and BENCH_floor.json (stc-bench-1 schema, see DESIGN.md) next to its
+# text output; this target exists so CI and scripts have a stable name
+# for "run the benches for their machine-readable results".
+bench-json:
+	dune exec bench/main.exe
+
+# The paper-golden regression tier at near-paper populations (several
+# minutes); the smoke tier runs in the default `dune runtest`.
+golden:
+	STC_SLOW=1 dune exec test/test_main.exe -- test golden
 
 qa:
 	QCHECK_SEED=$(QA_SEED) dune runtest

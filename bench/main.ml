@@ -19,6 +19,8 @@ module Report = Stc.Report
 module Grid_compact = Stc.Grid_compact
 module Journal = Stc.Journal
 module Rng = Stc_numerics.Rng
+module Json = Stc_obs.Json
+module Obs = Stc_obs.Registry
 
 let full_scale =
   match Sys.getenv_opt "STC_FULL" with
@@ -32,6 +34,87 @@ let mems_test_n = 1000
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: every section runs against a freshly reset
+   metric registry, so its flattened metrics are the section's own
+   counts, and lands as {name, params, wall_s, metrics} in one of
+   BENCH_compaction.json / BENCH_svm.json / BENCH_floor.json.          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_groups = [ "compaction"; "svm"; "floor" ]
+let bench_records : (string * Json.t) list ref = ref []
+
+let p_int k v = (k, Json.Num (float_of_int v))
+let p_bool k v = (k, Json.Bool v)
+
+let opamp_params =
+  [
+    p_int "n_train" opamp_train_n;
+    p_int "n_test" opamp_test_n;
+    p_bool "full_scale" full_scale;
+  ]
+
+let mems_params =
+  [
+    p_int "n_train" mems_train_n;
+    p_int "n_test" mems_test_n;
+    p_bool "full_scale" full_scale;
+  ]
+
+let bench ~group ~name ?(params = []) f =
+  if not (List.mem group bench_groups) then
+    invalid_arg (Printf.sprintf "bench: unknown group %S" group);
+  Obs.reset ();
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (* the section's own latency also lands in histogram form, so even a
+     purely presentational section exports a non-empty metrics object *)
+  Obs.Histogram.observe (Obs.histogram "stc_bench_section_s") wall_s;
+  let metrics =
+    List.filter_map
+      (fun (k, v) -> if v = 0.0 then None else Some (k, Json.Num v))
+      (Obs.flatten ())
+  in
+  bench_records :=
+    ( group,
+      Json.Obj
+        [
+          ("name", Json.Str name);
+          ("params", Json.Obj params);
+          ("wall_s", Json.Num wall_s);
+          ("metrics", Json.Obj metrics);
+        ] )
+    :: !bench_records;
+  r
+
+let write_bench_json () =
+  List.iter
+    (fun group ->
+      let sections =
+        List.rev
+          (List.filter_map
+             (fun (g, j) -> if g = group then Some j else None)
+             !bench_records)
+      in
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.Str "stc-bench-1");
+            ("scale", Json.Str (if full_scale then "full" else "reduced"));
+            ("sections", Json.List sections);
+          ]
+      in
+      let path = Printf.sprintf "BENCH_%s.json" group in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Json.to_string doc);
+          output_char oc '\n');
+      Printf.printf "[%d sections -> %s]\n" (List.length sections) path)
+    bench_groups
 
 let spec_name specs j = specs.(j).Spec.name
 
@@ -943,23 +1026,29 @@ let () =
   Printf.printf
     "Specification Test Compaction reproduction harness (%s scale)\n"
     (if full_scale then "full paper" else "reduced; set STC_FULL=1 for paper");
-  table2 ();
-  table3 ();
-  cost_analysis ();
-  figure3 ();
-  ablation_grid ();
-  ablation_guard_width ();
-  ablation_adaptive_guard ();
-  ablation_process_model ();
-  table1 ();
-  figure5 ();
-  greedy_opamp ();
-  figure6 ();
-  ablation_ordering ();
-  ablation_learner ();
-  ablation_regression ();
-  floor_serving ();
-  resilience ();
-  qa_harness ();
-  microbenchmarks ();
+  let c = bench ~group:"compaction" in
+  let s = bench ~group:"svm" in
+  let f = bench ~group:"floor" in
+  c ~name:"table2_mems_specs" ~params:mems_params table2;
+  c ~name:"table3_temperature_elimination" ~params:mems_params table3;
+  c ~name:"cost_analysis" ~params:mems_params cost_analysis;
+  c ~name:"figure3_acceptance_region" figure3;
+  c ~name:"ablation_grid_compaction" ~params:mems_params ablation_grid;
+  c ~name:"ablation_guard_width" ~params:mems_params ablation_guard_width;
+  c ~name:"ablation_adaptive_guard" ~params:mems_params ablation_adaptive_guard;
+  c ~name:"ablation_process_model" ~params:mems_params ablation_process_model;
+  c ~name:"table1_opamp_specs" ~params:opamp_params table1;
+  c ~name:"figure5_cumulative_elimination" ~params:opamp_params figure5;
+  c ~name:"greedy_opamp" ~params:opamp_params greedy_opamp;
+  c ~name:"figure6_training_size" ~params:opamp_params figure6;
+  c ~name:"ablation_ordering" ~params:opamp_params ablation_ordering;
+  s ~name:"ablation_learner" ~params:opamp_params ablation_learner;
+  s ~name:"ablation_regression_baseline" ~params:opamp_params ablation_regression;
+  f ~name:"floor_serving" ~params:opamp_params floor_serving;
+  c ~name:"resilience_overhead" ~params:opamp_params resilience;
+  f ~name:"qa_harness"
+    ~params:[ p_int "flows" (if full_scale then 400 else 100); p_int "rows_per_flow" 16 ]
+    qa_harness;
+  s ~name:"microbenchmarks" ~params:mems_params microbenchmarks;
+  write_bench_json ();
   Printf.printf "\ndone.\n"

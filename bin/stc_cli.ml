@@ -127,6 +127,48 @@ let resume_arg =
                  uninterrupted one; a journal from a different config, \
                  population, or order is rejected.")
 
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"After the run, export the process metric registry \
+                 (stc-metrics-1 text format: SMO iterations, kernel \
+                 evaluations and cache hit rate, pool queue/job \
+                 latencies, compaction accept/reject counts, floor \
+                 batch latencies) to $(docv).")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Enable span tracing for this run and write the retained \
+                 spans (stc-trace-1 text format, one per-candidate-drop \
+                 span tree per greedy step) to $(docv).")
+
+let write_text_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents)
+
+(* Observability envelope for a command: tracing is switched on for the
+   run when --trace was given, and both exports are written even when
+   the wrapped command raises (but not when it exits: a data error dies
+   before there is anything worth dumping). *)
+let with_obs ~metrics ~trace f =
+  if trace <> None then Stc_obs.Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      (match metrics with
+       | None -> ()
+       | Some path ->
+         write_text_file path (Stc_obs.Registry.to_text ());
+         Printf.printf "metrics -> %s\n" path);
+      match trace with
+      | None -> ()
+      | Some path ->
+        write_text_file path (Stc_obs.Trace.to_text ());
+        Stc_obs.Trace.set_enabled false;
+        Printf.printf "trace -> %s\n" path)
+    f
+
 (* The journalled greedy loop behind --journal/--resume. The journal is
    bound to this exact run by its fingerprint, so resuming against
    changed data or flags dies cleanly instead of silently diverging. *)
@@ -220,8 +262,9 @@ let print_flow_metrics flow test =
 (* ------------------------------ opamp ----------------------------- *)
 
 let run_opamp seed n_train n_test tolerance guard order learner grid_resolution
-    parallel journal resume =
+    parallel journal resume metrics trace =
   guard_data_errors @@ fun () ->
+  with_obs ~metrics ~trace @@ fun () ->
   Printf.printf "generating %d op-amp instances (seed %d)...\n%!"
     (n_train + n_test) seed;
   let train, test = Experiment.generate_opamp ~parallel ~seed ~n_train ~n_test () in
@@ -256,7 +299,8 @@ let run_opamp seed n_train n_test tolerance guard order learner grid_resolution
 let opamp_cmd =
   let term =
     Term.(const run_opamp $ seed $ n_train $ n_test $ tolerance $ guard $ order
-          $ learner $ grid_resolution $ parallel $ journal_arg $ resume_arg)
+          $ learner $ grid_resolution $ parallel $ journal_arg $ resume_arg
+          $ metrics_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "opamp" ~doc:"Greedy compaction of the op-amp test set") term
 
@@ -392,8 +436,9 @@ let save_test_arg =
                  ready for $(b,stc serve --input).")
 
 let run_train seed n_train n_test tolerance guard order learner grid_resolution
-    parallel save_flow save_test journal resume =
+    parallel save_flow save_test journal resume metrics trace =
   guard_data_errors @@ fun () ->
+  with_obs ~metrics ~trace @@ fun () ->
   Printf.printf "generating %d op-amp instances (seed %d)...\n%!"
     (n_train + n_test) seed;
   let train, test = Experiment.generate_opamp ~parallel ~seed ~n_train ~n_test () in
@@ -429,7 +474,7 @@ let train_cmd =
   let term =
     Term.(const run_train $ seed $ n_train $ n_test $ tolerance $ guard $ order
           $ learner $ grid_resolution $ parallel $ save_flow_arg $ save_test_arg
-          $ journal_arg $ resume_arg)
+          $ journal_arg $ resume_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "train"
@@ -469,8 +514,10 @@ let batch_deadline_arg =
                  Retest (counted as degraded) instead of waiting on more \
                  full-test calls.")
 
-let run_serve flow_file input batch domains queue_guard batch_deadline =
+let run_serve flow_file input batch domains queue_guard batch_deadline metrics
+    trace =
   guard_data_errors @@ fun () ->
+  with_obs ~metrics ~trace @@ fun () ->
   if batch < 1 then begin
     Printf.eprintf "--batch must be >= 1 (got %d)\n" batch;
     exit 1
@@ -518,7 +565,7 @@ let run_serve flow_file input batch domains queue_guard batch_deadline =
 let serve_cmd =
   let term =
     Term.(const run_serve $ flow_file_arg $ input_arg $ batch_arg $ domains_arg
-          $ queue_guard_arg $ batch_deadline_arg)
+          $ queue_guard_arg $ batch_deadline_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "serve"

@@ -1,6 +1,20 @@
 module Svr = Stc_svm.Svr
 module Svc = Stc_svm.Svc
 module Kernel = Stc_svm.Kernel
+module Obs = Stc_obs.Registry
+module Trace = Stc_obs.Trace
+
+(* Greedy-loop observability: one span per examined candidate (with
+   train/validate child spans and an accept/reject marker), counters
+   for the decisions, and latency histograms for the two expensive
+   phases. *)
+let m_candidates = Obs.counter "stc_compaction_candidates_total"
+let m_accepted = Obs.counter "stc_compaction_accepted_total"
+let m_rejected = Obs.counter "stc_compaction_rejected_total"
+let m_replayed = Obs.counter "stc_compaction_replayed_total"
+let h_train = Obs.histogram "stc_compaction_train_s"
+let h_validate = Obs.histogram "stc_compaction_validate_s"
+let g_last_error = Obs.gauge "stc_compaction_last_error"
 
 type learner =
   | Epsilon_svr of { c : float; epsilon : float; gamma : float option }
@@ -319,33 +333,57 @@ let greedy_resumable ?(order = Order.By_failure_count) ?(eval_each = false)
                  "Compaction.greedy_resumable: journal step %d examined spec \
                   %d but this run examines spec %d (order or data mismatch)"
                  i e.Journal.spec_index candidate);
+          Obs.Counter.incr m_replayed;
           (e.Journal.accepted, e.Journal.error)
         end
-        else begin
-          let trial = Array.of_list (List.rev (candidate :: !dropped)) in
-          let kept = complement ~k trial in
-          let features = Device_data.features train ~keep:kept in
-          let labels = dropped_labels train ~dropped:trial ~fraction:0.0 in
-          let features', labels' = maybe_grid config features labels in
-          let model = train_classifier config.learner features' labels' in
-          let nominal = Guard_band.predict model in
-          let validation_data =
-            match config.validation with
-            | On_test_data -> test
-            | On_train_data -> train
-          in
-          let error =
-            prediction_error nominal validation_data ~kept ~dropped:trial
-          in
-          let accepted = error <= config.tolerance in
-          (match journal with
-           | None -> ()
-           | Some w ->
-             journal_write "journal append"
-               (Journal.append w
-                  { Journal.spec_index = candidate; accepted; error }));
-          (accepted, error)
-        end
+        else
+          Trace.with_span
+            (Printf.sprintf "compaction.candidate.%d" candidate)
+            (fun () ->
+              let trial = Array.of_list (List.rev (candidate :: !dropped)) in
+              let kept = complement ~k trial in
+              let nominal =
+                Trace.with_span "compaction.train" (fun () ->
+                    Obs.Histogram.time h_train (fun () ->
+                        let features = Device_data.features train ~keep:kept in
+                        let labels =
+                          dropped_labels train ~dropped:trial ~fraction:0.0
+                        in
+                        let features', labels' =
+                          maybe_grid config features labels
+                        in
+                        let model =
+                          train_classifier config.learner features' labels'
+                        in
+                        Guard_band.predict model))
+              in
+              let validation_data =
+                match config.validation with
+                | On_test_data -> test
+                | On_train_data -> train
+              in
+              let error =
+                Trace.with_span "compaction.validate" (fun () ->
+                    Obs.Histogram.time h_validate (fun () ->
+                        prediction_error nominal validation_data ~kept
+                          ~dropped:trial))
+              in
+              let accepted = error <= config.tolerance in
+              Obs.Counter.incr m_candidates;
+              Obs.Counter.incr (if accepted then m_accepted else m_rejected);
+              Obs.Gauge.set g_last_error error;
+              (* zero-length marker so the decision is visible in the
+                 trace itself, nested under this candidate's span *)
+              Trace.with_span
+                (if accepted then "compaction.accept" else "compaction.reject")
+                (fun () -> ());
+              (match journal with
+               | None -> ()
+               | Some w ->
+                 journal_write "journal append"
+                   (Journal.append w
+                      { Journal.spec_index = candidate; accepted; error }));
+              (accepted, error))
       in
       if accepted then dropped := candidate :: !dropped;
       let counts =
@@ -364,7 +402,10 @@ let greedy_resumable ?(order = Order.By_failure_count) ?(eval_each = false)
    | None -> ()
    | Some w -> journal_write "journal finish" (Journal.finish w));
   let final_dropped = Array.of_list (List.rev !dropped) in
-  let flow = make_flow config train ~dropped:final_dropped in
+  let flow =
+    Trace.with_span "compaction.final_flow" (fun () ->
+        make_flow config train ~dropped:final_dropped)
+  in
   { flow; steps = List.rev !steps; config }
 
 let greedy ?order ?eval_each config ~train ~test =

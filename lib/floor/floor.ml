@@ -3,6 +3,19 @@ module Guard_band = Stc.Guard_band
 module Tester = Stc.Tester
 module Report = Stc.Report
 module Pool = Stc_process.Pool
+module Obs = Stc_obs.Registry
+
+(* Process-wide mirrors of the per-engine counters, plus the per-batch
+   latency histogram the per-engine stats do not keep. *)
+let m_devices = Obs.counter "stc_floor_devices_total"
+let m_shipped = Obs.counter "stc_floor_shipped_total"
+let m_scrapped = Obs.counter "stc_floor_scrapped_total"
+let m_retested = Obs.counter "stc_floor_retested_total"
+let m_retries = Obs.counter "stc_floor_retries_total"
+let m_degraded = Obs.counter "stc_floor_degraded_total"
+let m_batches = Obs.counter "stc_floor_batches_total"
+let g_degraded_mode = Obs.gauge "stc_floor_degraded_mode"
+let h_batch = Obs.histogram "stc_floor_batch_s"
 
 type config = {
   batch_size : int;
@@ -41,11 +54,38 @@ let empty_stats =
     last_batch_s = 0.0;
   }
 
+(* Per-engine counters live on the atomic registry representation so
+   [stats] is a set of lock-free reads; [reset_stats] swaps the whole
+   record for fresh zeroed atomics. The two timing fields stay plain
+   mutable floats: only the submitting domain writes them. *)
+type counters = {
+  devices : Obs.Counter.t;
+  shipped : Obs.Counter.t;
+  scrapped : Obs.Counter.t;
+  retested : Obs.Counter.t;
+  retries : Obs.Counter.t;
+  degraded : Obs.Counter.t;
+  batches : Obs.Counter.t;
+}
+
+let fresh_counters () =
+  {
+    devices = Obs.Counter.make ();
+    shipped = Obs.Counter.make ();
+    scrapped = Obs.Counter.make ();
+    retested = Obs.Counter.make ();
+    retries = Obs.Counter.make ();
+    degraded = Obs.Counter.make ();
+    batches = Obs.Counter.make ();
+  }
+
 type t = {
   flow : Compaction.flow;
   config : config;
   pool : Pool.t;
-  mutable stats : stats;
+  mutable counters : counters;
+  mutable elapsed_s : float;
+  mutable last_batch_s : float;
   mutable degraded_mode : bool;
   mutable closed : bool;
 }
@@ -58,19 +98,38 @@ let create ?(config = default_config) flow =
     flow;
     config;
     pool = Pool.create ~domains:config.domains;
-    stats = empty_stats;
+    counters = fresh_counters ();
+    elapsed_s = 0.0;
+    last_batch_s = 0.0;
     degraded_mode = false;
     closed = false;
   }
 
 let flow t = t.flow
 let config t = t.config
-let stats t = t.stats
+
+let stats t =
+  let c = t.counters in
+  {
+    devices = Obs.Counter.get c.devices;
+    shipped = Obs.Counter.get c.shipped;
+    scrapped = Obs.Counter.get c.scrapped;
+    retested = Obs.Counter.get c.retested;
+    retries = Obs.Counter.get c.retries;
+    degraded = Obs.Counter.get c.degraded;
+    batches = Obs.Counter.get c.batches;
+    elapsed_s = t.elapsed_s;
+    last_batch_s = t.last_batch_s;
+  }
+
 let degraded t = t.degraded_mode
 
 let reset_stats t =
-  t.stats <- empty_stats;
-  t.degraded_mode <- false
+  t.counters <- fresh_counters ();
+  t.elapsed_s <- 0.0;
+  t.last_batch_s <- 0.0;
+  t.degraded_mode <- false;
+  Obs.Gauge.set g_degraded_mode 0.0
 
 (* One batch: verdicts fan out across the pool (each row's verdict is a
    pure function of the row, so scheduling cannot change it), then the
@@ -174,6 +233,7 @@ let process ?retest ?retry ?batch_deadline_s ?(strict = false) t rows =
                   serve every later guard device degraded until
                   [reset_stats] declares it repaired *)
                t.degraded_mode <- true;
+               Obs.Gauge.set g_degraded_mode 1.0;
                shed ())
         end
     in
@@ -193,28 +253,32 @@ let process ?retest ?retry ?batch_deadline_s ?(strict = false) t rows =
       out.(i) <- { bin; verdict = verdicts.(i) }
     done;
     let dt = Unix.gettimeofday () -. t0 in
-    t.stats <-
-      {
-        devices = t.stats.devices + (hi - base);
-        shipped = t.stats.shipped + !shipped;
-        scrapped = t.stats.scrapped + !scrapped;
-        retested = t.stats.retested + !retested;
-        retries = t.stats.retries + !retries;
-        degraded = t.stats.degraded + !degraded_n;
-        batches = t.stats.batches + 1;
-        elapsed_s = t.stats.elapsed_s +. dt;
-        last_batch_s = dt;
-      };
+    let bump local mirror n =
+      if n > 0 then begin
+        Obs.Counter.add local n;
+        Obs.Counter.add mirror n
+      end
+    in
+    bump t.counters.devices m_devices (hi - base);
+    bump t.counters.shipped m_shipped !shipped;
+    bump t.counters.scrapped m_scrapped !scrapped;
+    bump t.counters.retested m_retested !retested;
+    bump t.counters.retries m_retries !retries;
+    bump t.counters.degraded m_degraded !degraded_n;
+    bump t.counters.batches m_batches 1;
+    Obs.Histogram.observe h_batch dt;
+    t.elapsed_s <- t.elapsed_s +. dt;
+    t.last_batch_s <- dt;
     lo := hi
   done;
   out
 
 let throughput t =
-  if t.stats.elapsed_s <= 0.0 then 0.0
-  else float_of_int t.stats.devices /. t.stats.elapsed_s
+  if t.elapsed_s <= 0.0 then 0.0
+  else float_of_int (Obs.Counter.get t.counters.devices) /. t.elapsed_s
 
 let report t =
-  let s = t.stats in
+  let s = stats t in
   let pct part =
     if s.devices = 0 then "-"
     else Report.pct (100.0 *. float_of_int part /. float_of_int s.devices)

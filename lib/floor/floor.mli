@@ -95,7 +95,14 @@ val process :
     do not move). *)
 
 val stats : t -> stats
-(** Cumulative since creation (or the last {!reset_stats}). *)
+(** Cumulative since creation (or the last {!reset_stats}). Each count
+    is a lock-free read of an atomic {!Stc_obs.Registry.Counter};
+    the same events are mirrored into the global registry as
+    [stc_floor_devices_total], [stc_floor_shipped_total],
+    [stc_floor_scrapped_total], [stc_floor_retested_total],
+    [stc_floor_retries_total], [stc_floor_degraded_total] and
+    [stc_floor_batches_total], with per-batch latency in the
+    [stc_floor_batch_s] histogram. *)
 
 val degraded : t -> bool
 (** True once a retest callback has permanently failed; sticky until

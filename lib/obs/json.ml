@@ -1,0 +1,85 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* Shortest representation that round-trips: try %.12g first so common
+   values print compactly, fall back to %.17g when it loses bits. *)
+let num_to_string v =
+  if not (Float.is_finite v) then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else begin
+    let short = Printf.sprintf "%.12g" v in
+    if float_of_string short = v then short else Printf.sprintf "%.17g" v
+  end
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(indent = true) t =
+  let buf = Buffer.create 1024 in
+  let pad depth = if indent then Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let nl () = if indent then Buffer.add_char buf '\n' in
+  let rec emit depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num v -> Buffer.add_string buf (num_to_string v)
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_char buf '[';
+      nl ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (depth + 1);
+          emit (depth + 1) item)
+        items;
+      nl ();
+      pad depth;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      nl ();
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (depth + 1);
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf (if indent then "\": " else "\":");
+          emit (depth + 1) v)
+        fields;
+      nl ();
+      pad depth;
+      Buffer.add_char buf '}'
+  in
+  emit 0 t;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** A minimal JSON writer — just enough for the metric exporter and the
+    bench harness's machine-readable [BENCH_*.json] files, so neither
+    pulls in an external JSON dependency. Writing only; the repo never
+    needs to parse general JSON back (the metric text format is the
+    round-trippable one). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val num_to_string : float -> string
+(** Shortest decimal that reads back to the same float; non-finite
+    values (which JSON cannot carry) render as [null]. *)
+
+val to_string : ?indent:bool -> t -> string
+(** [indent] (default true) pretty-prints with two-space indentation;
+    strings are escaped per RFC 8259. *)

@@ -1,0 +1,180 @@
+type span = {
+  id : int;
+  parent : int;
+  domain : int;
+  t_s : float;
+  dur_s : float;
+}
+
+let enabled_flag = Atomic.make false
+let next_id = Atomic.make 1
+
+(* The ring and epoch live under one mutex, touched only when a span
+   completes (and then only briefly) — open spans cost nothing shared. *)
+let mutex = Mutex.create ()
+let capacity = ref 65536
+let ring : (span * string) option array ref = ref (Array.make !capacity None)
+let written = ref 0
+let epoch = ref (Unix.gettimeofday ())
+
+(* Per-domain stack of open span ids: nesting never crosses a domain
+   boundary, so worker-domain spans are roots of their own chains. *)
+let stack_key : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let clear () =
+  Mutex.lock mutex;
+  Array.fill !ring 0 (Array.length !ring) None;
+  written := 0;
+  epoch := Unix.gettimeofday ();
+  Mutex.unlock mutex
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  Mutex.lock mutex;
+  capacity := n;
+  ring := Array.make n None;
+  written := 0;
+  Mutex.unlock mutex
+
+let sanitize name =
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) name
+
+let record span name =
+  Mutex.lock mutex;
+  let t_s = span.t_s -. !epoch in
+  !ring.(!written mod !capacity) <- Some ({ span with t_s }, sanitize name);
+  incr written;
+  Mutex.unlock mutex
+
+let with_span name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let parent = match !stack with [] -> 0 | p :: _ -> p in
+    let id = Atomic.fetch_and_add next_id 1 in
+    stack := id :: !stack;
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Unix.gettimeofday () in
+        (match !stack with
+         | s :: rest when s = id -> stack := rest
+         | other ->
+           (* unbalanced pops cannot happen through this API; recover
+              by cutting the stack back past our id anyway *)
+           let rec cut = function
+             | [] -> []
+             | s :: rest -> if s = id then rest else cut rest
+           in
+           stack := cut other);
+        record
+          {
+            id;
+            parent;
+            domain = (Domain.self () :> int);
+            t_s = t0 (* made epoch-relative inside [record] *);
+            dur_s = t1 -. t0;
+          }
+          name)
+      f
+  end
+
+let spans () =
+  Mutex.lock mutex;
+  let cap = !capacity and n = !written in
+  let first = if n > cap then n - cap else 0 in
+  let out = ref [] in
+  for i = n - 1 downto first do
+    match !ring.(i mod cap) with
+    | Some entry -> out := entry :: !out
+    | None -> ()
+  done;
+  Mutex.unlock mutex;
+  !out
+
+let float_str v =
+  let short = Printf.sprintf "%.12g" v in
+  if float_of_string short = v then short else Printf.sprintf "%.17g" v
+
+let to_text () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "stc-trace-1\n";
+  List.iter
+    (fun (s, name) ->
+      Buffer.add_string buf
+        (Printf.sprintf "span %d %d %d %s %s %s\n" s.id s.parent s.domain
+           (float_str s.t_s) (float_str s.dur_s) name))
+    (spans ());
+  Buffer.contents buf
+
+let parse text =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match String.split_on_char '\n' text with
+  | header :: rest when header = "stc-trace-1" ->
+    let parse_line lineno line =
+      (* span <id> <parent> <domain> <t_s> <dur_s> <name with spaces> *)
+      match String.split_on_char ' ' line with
+      | "span" :: id :: parent :: domain :: t_s :: dur_s :: name_words
+        when name_words <> [] -> (
+        match
+          ( int_of_string_opt id,
+            int_of_string_opt parent,
+            int_of_string_opt domain,
+            float_of_string_opt t_s,
+            float_of_string_opt dur_s )
+        with
+        | Some id, Some parent, Some domain, Some t_s, Some dur_s ->
+          Ok ({ id; parent; domain; t_s; dur_s }, String.concat " " name_words)
+        | _ -> fail "line %d: bad span fields %S" lineno line)
+      | _ -> fail "line %d: unparseable span line %S" lineno line
+    in
+    let rec go acc lineno = function
+      | [] -> Ok (List.rev acc)
+      | "" :: rest -> go acc (lineno + 1) rest
+      | line :: rest -> (
+        match parse_line lineno line with
+        | Ok entry -> go (entry :: acc) (lineno + 1) rest
+        | Error _ as e -> e)
+    in
+    go [] 2 rest
+  | header :: _ -> fail "bad trace header %S (want stc-trace-1)" header
+  | [] -> fail "empty trace"
+
+let check_well_formed entries =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let eps = 1e-6 in
+  let by_id = Hashtbl.create 64 in
+  let rec index = function
+    | [] -> Ok ()
+    | ((s : span), _) :: rest ->
+      if Hashtbl.mem by_id s.id then fail "duplicate span id %d" s.id
+      else if s.dur_s < 0.0 then fail "span %d has negative duration" s.id
+      else begin
+        Hashtbl.add by_id s.id s;
+        index rest
+      end
+  in
+  let rec check = function
+    | [] -> Ok ()
+    | ((s : span), name) :: rest ->
+      if s.parent = 0 then check rest
+      else begin
+        match Hashtbl.find_opt by_id s.parent with
+        | None -> fail "span %d (%s): orphan parent id %d" s.id name s.parent
+        | Some p ->
+          if p.domain <> s.domain then
+            fail "span %d (%s): parent %d lives on another domain" s.id name
+              p.id
+          else if
+            p.t_s > s.t_s +. eps
+            || s.t_s +. s.dur_s > p.t_s +. p.dur_s +. eps
+          then
+            fail "span %d (%s): parent %d does not enclose it" s.id name p.id
+          else check rest
+      end
+  in
+  match index entries with Error _ as e -> e | Ok () -> check entries

@@ -1,0 +1,58 @@
+(** A lightweight span tracer, safe to call from pool worker domains.
+
+    Spans time a named region of code on a wall clock relative to the
+    tracer's epoch. Nesting is tracked per domain (domain-local state),
+    so concurrent workers each carry their own parent chain and never
+    contend except for one short lock when a span completes. Completed
+    spans land in a bounded ring buffer — tracing never grows memory
+    without bound; the oldest spans are evicted first. Because a parent
+    completes after its children, eviction can only drop children of
+    retained spans, never the parent of a retained child.
+
+    Tracing is off by default and {!with_span} is a direct call to the
+    thunk while disabled, so instrumented hot paths cost one atomic
+    load when idle. *)
+
+type span = {
+  id : int;  (** unique per process run, starting at 1 *)
+  parent : int;  (** enclosing span's id, or 0 for a root span *)
+  domain : int;  (** numeric id of the domain that ran the span *)
+  t_s : float;  (** start time, seconds since the tracer epoch *)
+  dur_s : float;
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val set_capacity : int -> unit
+(** Ring-buffer size (default 65536 spans). Clears retained spans.
+    Raises [Invalid_argument] when not positive. *)
+
+val clear : unit -> unit
+(** Drops retained spans and resets the epoch; does not change the
+    enabled flag or capacity. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Runs the thunk inside a span named [string]. The span is recorded
+    when the thunk returns or raises. Names must not contain newlines
+    (enforced at record time by replacing them with spaces). While
+    tracing is disabled this is just [f ()]. *)
+
+val spans : unit -> (span * string) list
+(** Retained spans with their names, in completion order (oldest
+    first). *)
+
+val to_text : unit -> string
+(** The [stc-trace-1] format: a header line, then one
+    [span <id> <parent> <domain> <t_s> <dur_s> <name>] line per
+    retained span in completion order. Names may contain spaces; they
+    extend to the end of the line. *)
+
+val parse : string -> ((span * string) list, string) result
+(** Parses {!to_text} output; the round trip preserves every field. *)
+
+val check_well_formed : (span * string) list -> (unit, string) result
+(** The nesting laws a dump of fully-completed spans must satisfy:
+    ids are unique; every non-zero parent id refers to a retained span;
+    and a parent's [t_s .. t_s + dur_s] interval encloses each child's
+    (small clock slack tolerated). *)

@@ -1,11 +1,25 @@
 exception Timeout
 
+module Obs = Stc_obs.Registry
+
+(* Process-wide pool metrics; the per-pool supervision counters behind
+   [stats] are separate standalone atomics so one pool's story is not
+   polluted by another's. *)
+let m_jobs = Obs.counter "stc_pool_jobs_total"
+let m_tasks = Obs.counter "stc_pool_tasks_total"
+let m_timeouts = Obs.counter "stc_pool_timeouts_total"
+let m_respawned = Obs.counter "stc_pool_respawned_total"
+let h_queue_wait = Obs.histogram "stc_pool_queue_wait_s"
+let h_job = Obs.histogram "stc_pool_job_s"
+
 type job = {
   f : int -> unit;
   n : int;
   next : int Atomic.t;
   gen : int;
   mutable pending : int;  (* workers still executing this job; under mutex *)
+  submitted : float;  (* Unix time of submission, for the queue-wait metric *)
+  unclaimed : bool Atomic.t;  (* true until the first task claim *)
 }
 
 type worker = {
@@ -33,8 +47,8 @@ type t = {
   mutable stop : bool;
   mutable workers : worker list;  (* live helpers; zombies are removed *)
   mutable spares : worker list;  (* ex-zombie domains parked for reuse *)
-  mutable timeouts : int;
-  mutable respawned : int;
+  timeouts : Obs.Counter.t;  (* atomic: incremented at deadline, read anywhere *)
+  respawned : Obs.Counter.t;
 }
 
 (* Work stealing by atomic index claim: any domain grabs the next
@@ -46,6 +60,10 @@ let exec t w job =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < job.n then begin
       w.heartbeat <- Unix.gettimeofday ();
+      if
+        Atomic.get job.unclaimed
+        && Atomic.compare_and_set job.unclaimed true false
+      then Obs.Histogram.observe h_queue_wait (w.heartbeat -. job.submitted);
       (try job.f i
        with e ->
          Mutex.lock t.mutex;
@@ -134,8 +152,8 @@ let create ~domains =
       stop = false;
       workers = [];
       spares = [];
-      timeouts = 0;
-      respawned = 0;
+      timeouts = Obs.Counter.make ();
+      respawned = Obs.Counter.make ();
     }
   in
   t.workers <- List.init (domains - 1) (fun _ -> spawn_worker t 0);
@@ -144,10 +162,10 @@ let create ~domains =
 let domains t = t.total
 
 let stats t =
-  Mutex.lock t.mutex;
-  let s = { timeouts = t.timeouts; respawned = t.respawned } in
-  Mutex.unlock t.mutex;
-  s
+  {
+    timeouts = Obs.Counter.get t.timeouts;
+    respawned = Obs.Counter.get t.respawned;
+  }
 
 let heartbeat_ages t =
   let now = Unix.gettimeofday () in
@@ -159,7 +177,17 @@ let heartbeat_ages t =
 let submit_locked t ~pending f n =
   t.error <- None;
   t.generation <- t.generation + 1;
-  let job = { f; n; next = Atomic.make 0; gen = t.generation; pending } in
+  let job =
+    {
+      f;
+      n;
+      next = Atomic.make 0;
+      gen = t.generation;
+      pending;
+      submitted = Unix.gettimeofday ();
+      unclaimed = Atomic.make true;
+    }
+  in
   t.job <- Some job;
   Condition.broadcast t.start;
   job
@@ -264,7 +292,8 @@ let run_supervised t ~n ~deadline_s f =
     t.abandoned <- job.gen;
     t.job <- None;
     t.error <- None;
-    t.timeouts <- t.timeouts + 1;
+    Obs.Counter.incr t.timeouts;
+    Obs.Counter.incr m_timeouts;
     (* drain unclaimed tasks so healthy workers return promptly *)
     Atomic.set job.next job.n;
     Mutex.unlock t.mutex;
@@ -293,7 +322,8 @@ let run_supervised t ~n ~deadline_s f =
         let reused, spares = reuse (List.length stalled) [] t.spares in
         t.spares <- spares;
         t.workers <- healthy @ reused;
-        t.respawned <- t.respawned + List.length stalled;
+        Obs.Counter.add t.respawned (List.length stalled);
+        Obs.Counter.add m_respawned (List.length stalled);
         let missing = List.length stalled - List.length reused in
         let gen = t.generation in
         Mutex.unlock t.mutex;
@@ -318,9 +348,12 @@ let run_supervised t ~n ~deadline_s f =
 let run ?deadline_s t ~n f =
   check_runnable t n;
   if n > 0 then begin
-    match deadline_s with
-    | None -> run_participating t ~n f
-    | Some d -> run_supervised t ~n ~deadline_s:d f
+    Obs.Counter.incr m_jobs;
+    Obs.Counter.add m_tasks n;
+    Obs.Histogram.time h_job (fun () ->
+        match deadline_s with
+        | None -> run_participating t ~n f
+        | Some d -> run_supervised t ~n ~deadline_s:d f)
   end
 
 let shutdown t =

@@ -71,7 +71,14 @@ val run : ?deadline_s:float -> t -> n:int -> (int -> unit) -> unit
     [Invalid_argument] when [deadline_s <= 0]. *)
 
 val stats : t -> stats
-(** Cumulative supervision counters since [create]. *)
+(** Cumulative supervision counters since [create]. Backed by atomic
+    counters ([Stc_obs.Registry.Counter]), so reads are lock-free and
+    concurrent increments are never lost. The same events also feed the
+    process-wide metrics [stc_pool_timeouts_total] /
+    [stc_pool_respawned_total]; every [run] additionally records
+    [stc_pool_jobs_total], [stc_pool_tasks_total] and the
+    [stc_pool_queue_wait_s] / [stc_pool_job_s] latency histograms in
+    {!Stc_obs.Registry.global}. *)
 
 val heartbeat_ages : t -> float array
 (** Seconds since each live helper last claimed a task (or was

@@ -177,6 +177,55 @@ let run ?(seed = 2005) ?(flows = 1000) ?(rows_per_flow = 16)
          let* () = Faults.check_floor_degraded ~classify_permanent:(i mod 2 = 0) in
          Faults.check_floor_batch_deadline ()));
 
+  (* 7. observability: metric-exporter round trips and span nesting *)
+  push
+    (section ~name:"observability" ~cases:(Stdlib.max 20 (flows / 20))
+       (fun i ->
+         let module Obs = Stc_obs.Registry in
+         let module Trace = Stc_obs.Trace in
+         let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+         (* a scratch registry with random contents must survive the
+            text exporter exactly *)
+         let r = Obs.create () in
+         let c = Obs.counter ~registry:r "stc_qa_cases_total" in
+         let g = Obs.gauge ~registry:r "stc_qa_level" in
+         let h = Obs.histogram ~registry:r "stc_qa_latency_s" in
+         for _ = 0 to Rng.int rng 20 do
+           Obs.Counter.add c (Rng.int rng 1000);
+           Obs.Gauge.set g (Rng.uniform rng (-1e6) 1e6);
+           Obs.Histogram.observe h (Rng.uniform rng 0.0 200.0)
+         done;
+         let* () =
+           match Obs.parse_text (Obs.to_text ~registry:r ()) with
+           | Error e -> Error ("metrics export does not parse: " ^ e)
+           | Ok parsed ->
+             if parsed = Obs.flatten ~registry:r () then Ok ()
+             else Error "parsed metrics differ from the flatten view"
+         in
+         (* spans recorded around nested work must nest well-formedly
+            and survive the trace-text round trip *)
+         let was = Trace.enabled () in
+         Trace.set_enabled true;
+         Trace.clear ();
+         Fun.protect
+           ~finally:(fun () ->
+             Trace.clear ();
+             Trace.set_enabled was)
+           (fun () ->
+             let rec nest d =
+               Trace.with_span
+                 (Printf.sprintf "qa.depth.%d" d)
+                 (fun () -> if d > 0 then nest (d - 1))
+             in
+             nest (1 + (i mod 4));
+             let spans = Trace.spans () in
+             let* () = Trace.check_well_formed spans in
+             match Trace.parse (Trace.to_text ()) with
+             | Error e -> Error ("trace export does not parse: " ^ e)
+             | Ok parsed ->
+               if parsed = spans then Ok ()
+               else Error "parsed trace differs from retained spans")));
+
   { seed; sections = List.rev !sections }
 
 let ok r = List.for_all (fun s -> s.failures = 0) r.sections

@@ -1,3 +1,8 @@
+(* Process-wide cache traffic, on top of the per-cache ints that feed
+   the hit-rate gauge after each solve. *)
+let m_hits = Stc_obs.Registry.counter "stc_svm_cache_hits_total"
+let m_misses = Stc_obs.Registry.counter "stc_svm_cache_misses_total"
+
 type t = {
   compute : int -> float array;
   table : (int, float array) Hashtbl.t;
@@ -23,9 +28,11 @@ let get t i =
   match Hashtbl.find_opt t.table i with
   | Some row ->
     t.hits <- t.hits + 1;
+    Stc_obs.Registry.Counter.incr m_hits;
     row
   | None ->
     t.misses <- t.misses + 1;
+    Stc_obs.Registry.Counter.incr m_misses;
     let row = t.compute i in
     if Hashtbl.length t.table >= t.capacity then begin
       match Queue.take_opt t.order with

@@ -19,6 +19,9 @@ type solution = {
 
 let tau = 1e-12
 
+let m_solves = Stc_obs.Registry.counter "stc_smo_solves_total"
+let m_iterations = Stc_obs.Registry.counter "stc_smo_iterations_total"
+
 let solve ?(eps = 1e-3) ?max_iter ?alpha0 prob =
   let n = prob.size in
   assert (Array.length prob.p = n);
@@ -217,4 +220,6 @@ let solve ?(eps = 1e-3) ?max_iter ?alpha0 prob =
     done;
     !acc /. 2.0
   in
+  Stc_obs.Registry.Counter.incr m_solves;
+  Stc_obs.Registry.Counter.add m_iterations !iterations;
   { alpha; rho; objective; iterations = !iterations }

@@ -1,3 +1,8 @@
+module Obs = Stc_obs.Registry
+
+let m_kernel_evals = Obs.counter "stc_svm_kernel_evals_total"
+let g_cache_hit_rate = Obs.gauge "stc_svm_cache_hit_rate"
+
 type model = {
   kernel : Kernel.t;
   sv : float array array;
@@ -29,9 +34,11 @@ let train ?(c = 1.0) ?kernel ?(eps = 1e-3) ~x ~y () =
   in
   let yf = Array.map float_of_int y in
   let raw_row i =
+    Obs.Counter.add m_kernel_evals l;
     Array.init l (fun t -> yf.(i) *. yf.(t) *. Kernel.eval kernel x.(i) x.(t))
   in
   let cache = Row_cache.create ~size:l ~row_bytes:(8 * l) raw_row in
+  Obs.Counter.add m_kernel_evals l (* the diagonal below *);
   let problem =
     {
       Smo.size = l;
@@ -43,6 +50,10 @@ let train ?(c = 1.0) ?kernel ?(eps = 1e-3) ~x ~y () =
     }
   in
   let sol = Smo.solve ~eps problem in
+  let accesses = Row_cache.hits cache + Row_cache.misses cache in
+  if accesses > 0 then
+    Obs.Gauge.set g_cache_hit_rate
+      (float_of_int (Row_cache.hits cache) /. float_of_int accesses);
   let sv = ref [] and coef = ref [] in
   for i = l - 1 downto 0 do
     if sol.Smo.alpha.(i) > 0.0 then begin

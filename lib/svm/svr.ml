@@ -1,3 +1,8 @@
+module Obs = Stc_obs.Registry
+
+let m_kernel_evals = Obs.counter "stc_svm_kernel_evals_total"
+let g_cache_hit_rate = Obs.gauge "stc_svm_cache_hit_rate"
+
 type model = {
   kernel : Kernel.t;
   sv : float array array;
@@ -27,11 +32,13 @@ let train ?(c = 1.0) ?(epsilon = 0.1) ?kernel ?(eps = 1e-3) ~x ~y () =
   let ys = Array.init n (fun s -> if s < l then 1.0 else -1.0) in
   let base s = if s < l then s else s - l in
   let raw_row s =
+    Obs.Counter.add m_kernel_evals l;
     let bs = base s in
     let krow = Array.init l (fun t -> Kernel.eval kernel x.(bs) x.(t)) in
     Array.init n (fun t -> ys.(s) *. ys.(t) *. krow.(base t))
   in
   let cache = Row_cache.create ~size:n ~row_bytes:(8 * n) raw_row in
+  Obs.Counter.add m_kernel_evals n (* the diagonal below *);
   let problem =
     {
       Smo.size = n;
@@ -45,6 +52,10 @@ let train ?(c = 1.0) ?(epsilon = 0.1) ?kernel ?(eps = 1e-3) ~x ~y () =
     }
   in
   let sol = Smo.solve ~eps problem in
+  let accesses = Row_cache.hits cache + Row_cache.misses cache in
+  if accesses > 0 then
+    Obs.Gauge.set g_cache_hit_rate
+      (float_of_int (Row_cache.hits cache) /. float_of_int accesses);
   let sv = ref [] and coef = ref [] in
   for i = l - 1 downto 0 do
     let d = sol.Smo.alpha.(i) -. sol.Smo.alpha.(i + l) in
