@@ -5,7 +5,7 @@
 # replay the same stream.
 QA_SEED ?= 2005
 
-.PHONY: all build check test bench bench-json golden examples qa ci clean
+.PHONY: all build check test bench bench-json golden examples qa serve-smoke ci clean
 
 all: build
 
@@ -21,10 +21,10 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# The bench harness always writes BENCH_compaction.json, BENCH_svm.json
-# and BENCH_floor.json (stc-bench-1 schema, see DESIGN.md) next to its
-# text output; this target exists so CI and scripts have a stable name
-# for "run the benches for their machine-readable results".
+# The bench harness always writes BENCH_compaction.json, BENCH_svm.json,
+# BENCH_floor.json and BENCH_net.json (stc-bench-1 schema, see DESIGN.md)
+# next to its text output; this target exists so CI and scripts have a
+# stable name for "run the benches for their machine-readable results".
 bench-json:
 	dune exec bench/main.exe
 
@@ -37,16 +37,27 @@ qa:
 	QCHECK_SEED=$(QA_SEED) dune runtest
 	dune exec bin/stc_cli.exe -- selftest --seed $(QA_SEED) --quiet
 
-# Everything the CI workflow runs: build, tier-1 tests, then the QA
-# sweep (qcheck properties + `stc selftest`) under the pinned seed.
+# End-to-end network serving smoke: a loopback server on an ephemeral
+# port, 100 devices from two concurrent clients (BATCH and pipelined
+# BIN paths), a hot reload under the traffic, METRICS in both formats
+# and a clean wire SHUTDOWN — all bit-checked against the offline
+# Floor reference. Exits nonzero on any mismatch.
+serve-smoke:
+	dune exec test/serve_smoke.exe
+
+# Everything the CI workflow runs: build, tier-1 tests, the QA sweep
+# (qcheck properties + `stc selftest`) under the pinned seed, then the
+# network serving smoke.
 ci:
 	dune build @all
 	dune runtest
 	$(MAKE) qa
+	$(MAKE) serve-smoke
 
 examples:
 	dune exec examples/quickstart.exe
 	dune exec examples/floor_serving.exe
+	dune exec examples/net_serving.exe
 
 clean:
 	dune clean

@@ -42,7 +42,7 @@ let section title =
    BENCH_compaction.json / BENCH_svm.json / BENCH_floor.json.          *)
 (* ------------------------------------------------------------------ *)
 
-let bench_groups = [ "compaction"; "svm"; "floor" ]
+let bench_groups = [ "compaction"; "svm"; "floor"; "net" ]
 let bench_records : (string * Json.t) list ref = ref []
 
 let p_int k v = (k, Json.Num (float_of_int v))
@@ -1021,6 +1021,76 @@ let qa_harness () =
   Printf.printf "differential mismatches: %d (must be 0)\n" mismatches
 
 (* ------------------------------------------------------------------ *)
+(* Network serving: the loopback line protocol vs the direct engine    *)
+(* ------------------------------------------------------------------ *)
+
+let net_rows = if full_scale then 20000 else 4000
+let net_batch = 512
+
+let net_serving () =
+  section "Network serving: loopback line protocol vs direct engine";
+  let st = Stc_qa.Gen.state ~seed:2005 in
+  let flow, base = Stc_qa.Gen.flow_with_rows ~rows_per_flow:64 st in
+  let n_base = Array.length base in
+  let rows = Array.init net_rows (fun i -> base.(i mod n_base)) in
+  let chunks =
+    List.init
+      ((net_rows + net_batch - 1) / net_batch)
+      (fun k ->
+        Array.sub rows (k * net_batch)
+          (Stdlib.min net_batch (net_rows - (k * net_batch))))
+  in
+  let t_direct =
+    Stc_floor.Floor.with_engine flow (fun engine ->
+        let retest = Stc_floor.Floor.full_test flow in
+        let t0 = Unix.gettimeofday () in
+        ignore (Stc_floor.Floor.process ~retest engine rows);
+        Unix.gettimeofday () -. t0)
+  in
+  let registry = Stc_net.Registry.create () in
+  (match Stc_net.Registry.add registry ~name:"dut" flow with
+   | Ok _ -> ()
+   | Error e -> failwith e);
+  let time_wire send =
+    Stc_net.Server.with_server registry (fun server ->
+        let c = Stc_net.Client.connect ~port:(Stc_net.Server.port server) () in
+        Fun.protect
+          ~finally:(fun () -> Stc_net.Client.quit c)
+          (fun () ->
+            let t0 = Unix.gettimeofday () in
+            List.iter
+              (fun chunk ->
+                match send c chunk with
+                | Ok (_ : Stc_floor.Floor.outcome array) -> ()
+                | Error e -> failwith e)
+              chunks;
+            Unix.gettimeofday () -. t0))
+  in
+  let t_batch = time_wire (fun c -> Stc_net.Client.bin_batch c ~flow:"dut") in
+  let t_stream = time_wire (fun c -> Stc_net.Client.stream c ~flow:"dut") in
+  Stc_net.Registry.shutdown registry;
+  let rate t =
+    if t <= 0.0 then "-"
+    else Printf.sprintf "%.0f rows/s" (float_of_int net_rows /. t)
+  in
+  let relative t =
+    if t_direct <= 0.0 then "-" else Printf.sprintf "%.2fx" (t /. t_direct)
+  in
+  print_string
+    (Report.table
+       ~header:[ "path"; "rows"; "elapsed"; "rate"; "vs direct" ]
+       [
+         [ "direct Floor.process"; string_of_int net_rows;
+           Printf.sprintf "%.3f s" t_direct; rate t_direct; "1.00x" ];
+         [ Printf.sprintf "loopback BATCH (%d/req)" net_batch;
+           string_of_int net_rows; Printf.sprintf "%.3f s" t_batch;
+           rate t_batch; relative t_batch ];
+         [ Printf.sprintf "loopback BIN pipeline (%d/flush)" net_batch;
+           string_of_int net_rows; Printf.sprintf "%.3f s" t_stream;
+           rate t_stream; relative t_stream ];
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
@@ -1050,5 +1120,9 @@ let () =
     ~params:[ p_int "flows" (if full_scale then 400 else 100); p_int "rows_per_flow" 16 ]
     qa_harness;
   s ~name:"microbenchmarks" ~params:mems_params microbenchmarks;
+  let n = bench ~group:"net" in
+  n ~name:"loopback_vs_direct"
+    ~params:[ p_int "rows" net_rows; p_int "batch" net_batch ]
+    net_serving;
   write_bench_json ();
   Printf.printf "\ndone.\n"

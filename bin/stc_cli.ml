@@ -6,7 +6,13 @@
    stc specs  — print the specification tables
    stc train  — train an op-amp flow and persist it (with a device CSV)
    stc serve  — reload a flow and bin a CSV of devices on the floor engine
-   stc selftest — adversarial QA sweep: differential oracles + fault injection *)
+   stc server — persistent multi-client TCP flow server with hot reload
+   stc flow   — inspect saved flow files (stc flow info FILE)
+   stc selftest — adversarial QA sweep: differential oracles + fault injection
+
+   Exit codes: 0 success; 1 genuine failure (failing selftest, server
+   crash); 2 data error (corrupt flow file, bad CSV, unusable journal);
+   124+ cmdliner usage errors. *)
 
 module Experiment = Stc.Experiment
 module Device_data = Stc.Device_data
@@ -489,7 +495,8 @@ let flow_file_arg =
 
 let input_arg =
   Arg.(required & opt (some string) None
-       & info [ "input" ] ~docv:"CSV" ~doc:"Device measurement rows.")
+       & info [ "input" ] ~docv:"CSV"
+           ~doc:"Device measurement rows; $(b,-) streams them from stdin.")
 
 let batch_arg =
   Arg.(value & opt int 256
@@ -536,30 +543,45 @@ let run_serve flow_file input batch domains queue_guard batch_deadline metrics
     | Ok flow -> flow
     | Error e -> die_data "cannot load flow %s: %s" flow_file e
   in
-  let _names, rows =
-    match Device_csv.read ~path:input with
+  let src = if input = "-" then "stdin" else input in
+  let reader =
+    match
+      if input = "-" then Device_csv.reader_of_channel stdin
+      else Device_csv.open_reader ~path:input
+    with
     | Ok r -> r
-    | Error e -> die_data "cannot read devices from %s: %s" input e
+    | Error e -> die_data "cannot read devices from %s: %s" src e
   in
+  Fun.protect ~finally:(fun () -> Device_csv.close_reader reader) @@ fun () ->
   let specs = flow.Compaction.specs in
-  if rows <> [||] && Array.length rows.(0) <> Array.length specs then
-    die_data "input %s has %d columns but the flow has %d specs" input
-      (Array.length rows.(0)) (Array.length specs);
-  Printf.printf "%d devices, %d kept of %d specs, batch %d, domains %d\n%!"
-    (Array.length rows)
+  let width = Array.length (Device_csv.header reader) in
+  if width <> Array.length specs then
+    die_data "input %s has %d columns but the flow has %d specs" src width
+      (Array.length specs);
+  Printf.printf "%s: %d kept of %d specs, batch %d, domains %d\n%!" src
     (Array.length flow.Compaction.kept)
     (Array.length specs) batch domains;
-  (* the full (adaptive) test: measure every spec — here the CSV already
+  (* the full (adaptive) test: measure every spec — the CSV already
      carries all columns, so full test = judge the complete row *)
-  let full_test row = Array.for_all2 Spec.passes specs row in
-  let retest = if queue_guard then None else Some full_test in
+  let retest = if queue_guard then None else Some (Floor.full_test flow) in
   Floor.with_engine
     ~config:{ Floor.batch_size = batch; domains }
     flow
     (fun engine ->
-      let (_ : Floor.outcome array) =
-        Floor.process ?retest ?batch_deadline_s:batch_deadline engine rows
+      (* pull batch-sized chunks so a floor-scale stream (or an endless
+         stdin pipe) never materialises in memory *)
+      let rec pump total =
+        match Device_csv.next_batch reader ~max:batch with
+        | Error e -> die_data "cannot read devices from %s: %s" src e
+        | Ok [||] -> total
+        | Ok rows ->
+          let (_ : Floor.outcome array) =
+            Floor.process ?retest ?batch_deadline_s:batch_deadline engine rows
+          in
+          pump (total + Array.length rows)
       in
+      let total = pump 0 in
+      Printf.printf "%d devices binned\n" total;
       print_string (Floor.report engine))
 
 let serve_cmd =
@@ -571,6 +593,207 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Bin a stream of devices with a saved flow on the floor engine")
     term
+
+(* ------------------------------- server ---------------------------- *)
+
+module Net_registry = Stc_net.Registry
+module Net_server = Stc_net.Server
+module Retry = Stc_floor.Retry
+
+let listen_arg =
+  Arg.(value & opt int 0
+       & info [ "listen" ] ~docv:"PORT"
+           ~doc:"TCP port to listen on; 0 (the default) picks an ephemeral \
+                 port and prints it.")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+
+let server_flows_arg =
+  Arg.(non_empty & opt_all (pair ~sep:'=' string string) []
+       & info [ "flow" ] ~docv:"NAME=FILE"
+           ~doc:"Serve the stc-flow-1 file $(i,FILE) under the route \
+                 $(i,NAME) (repeatable; each flow gets its own engine).")
+
+let flush_rows_arg =
+  Arg.(value & opt int Net_server.default_config.Net_server.flush_rows
+       & info [ "flush-rows" ] ~docv:"N"
+           ~doc:"Flush a connection's pipelined BIN rows as one batch once \
+                 $(docv) are pending.")
+
+let flush_deadline_arg =
+  Arg.(value & opt float Net_server.default_config.Net_server.flush_deadline_s
+       & info [ "flush-deadline" ] ~docv:"SECONDS"
+           ~doc:"Flush pending rows once the oldest is $(docv) old, so a \
+                 trickling client still gets verdicts promptly.")
+
+let max_pending_arg =
+  Arg.(value & opt int Net_server.default_config.Net_server.max_pending
+       & info [ "max-pending" ] ~docv:"N"
+           ~doc:"Bound on a connection's pending-row queue (and on a single \
+                 BATCH): reaching it forces a flush before the next read, \
+                 so a runaway client is throttled by TCP itself.")
+
+let max_conns_arg =
+  Arg.(value & opt int Net_server.default_config.Net_server.max_connections
+       & info [ "max-conns" ] ~docv:"N" ~doc:"Concurrent client connections.")
+
+let retries_arg =
+  Arg.(value & opt int 1
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"Attempts (including the first) for each guard-band \
+                 escalation, with exponential backoff between them; 1 \
+                 disables retry.")
+
+let reload_signal_arg =
+  Arg.(value & flag
+       & info [ "reload-signal" ]
+           ~doc:"Re-read every flow's file on SIGHUP and hot-swap the \
+                 changed ones atomically (a parse error leaves the old \
+                 flow serving; an unchanged fingerprint is a no-op).")
+
+let run_server host listen flows flush_rows flush_deadline max_pending
+    max_conns queue_guard batch_deadline retries reload_signal batch domains
+    metrics trace =
+  guard_data_errors @@ fun () ->
+  with_obs ~metrics ~trace @@ fun () ->
+  if batch < 1 || domains < 1 then begin
+    Printf.eprintf "--batch and --domains must be >= 1\n";
+    exit 1
+  end;
+  if flush_rows < 1 || max_pending < 1 || max_conns < 1 then begin
+    Printf.eprintf "--flush-rows, --max-pending and --max-conns must be >= 1\n";
+    exit 1
+  end;
+  if flush_deadline <= 0.0 then begin
+    Printf.eprintf "--flush-deadline must be positive (got %g)\n" flush_deadline;
+    exit 1
+  end;
+  if retries < 1 then begin
+    Printf.eprintf "--retries must be >= 1 (got %d)\n" retries;
+    exit 1
+  end;
+  let registry =
+    Net_registry.create ~floor_config:{ Floor.batch_size = batch; domains } ()
+  in
+  List.iter
+    (fun (name, path) ->
+      match Net_registry.load registry ~name ~path with
+      | Ok _ -> Printf.printf "flow %s <- %s\n%!" name path
+      | Error e -> die_data "%s" e)
+    flows;
+  let config =
+    {
+      Net_server.default_config with
+      Net_server.host;
+      port = listen;
+      flush_rows;
+      flush_deadline_s = flush_deadline;
+      max_pending;
+      max_connections = max_conns;
+      escalate = not queue_guard;
+      retry =
+        (if retries > 1 then
+           Some { Retry.default_policy with Retry.attempts = retries }
+         else None);
+      batch_deadline_s = batch_deadline;
+    }
+  in
+  let server = Net_server.create ~config registry in
+  (* signal handlers only latch atomics; the real work — reload I/O,
+     thread joins — happens on the main thread via wait's on_tick *)
+  let stop_requested = Atomic.make false in
+  let hup = Atomic.make false in
+  let latch signal atom =
+    try Sys.set_signal signal (Sys.Signal_handle (fun _ -> Atomic.set atom true))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  latch Sys.sigint stop_requested;
+  latch Sys.sigterm stop_requested;
+  if reload_signal then latch Sys.sighup hup;
+  Net_server.start server;
+  Printf.printf "listening on %s:%d (%d flows)\n%!" host
+    (Net_server.port server) (List.length flows);
+  let on_tick () =
+    if Atomic.get stop_requested then Net_server.stop server
+    else if Atomic.exchange hup false then
+      List.iter
+        (fun name ->
+          match Net_registry.reload registry ~name with
+          | Ok (`Reloaded st) ->
+            Printf.printf "reloaded %s -> version %d (%s)\n%!" name
+              st.Net_registry.version st.Net_registry.fingerprint
+          | Ok (`Unchanged _) -> Printf.printf "%s unchanged\n%!" name
+          | Error e -> Printf.eprintf "reload %s failed: %s\n%!" name e)
+        (Net_registry.names registry)
+  in
+  Net_server.wait ~on_tick server;
+  Net_server.stop server;
+  Net_registry.shutdown registry;
+  Printf.printf "server stopped\n"
+
+let server_cmd =
+  let term =
+    Term.(const run_server $ host_arg $ listen_arg $ server_flows_arg
+          $ flush_rows_arg $ flush_deadline_arg $ max_pending_arg
+          $ max_conns_arg $ queue_guard_arg $ batch_deadline_arg $ retries_arg
+          $ reload_signal_arg $ batch_arg $ domains_arg $ metrics_arg
+          $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "server"
+       ~doc:"Serve flows to concurrent network clients over the stc line \
+             protocol, with live METRICS and zero-downtime hot reload")
+    term
+
+(* -------------------------------- flow ----------------------------- *)
+
+let flow_file_pos =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"FILE" ~doc:"Flow file saved by $(b,stc train).")
+
+let run_flow_info file =
+  guard_data_errors @@ fun () ->
+  let flow =
+    match Flow_io.load ~path:file with
+    | Ok f -> f
+    | Error e -> die_data "cannot load flow %s: %s" file e
+  in
+  let fingerprint =
+    match Flow_io.fingerprint flow with
+    | Ok fp -> fp
+    | Error e -> die_data "cannot fingerprint flow %s: %s" file e
+  in
+  let specs = flow.Compaction.specs in
+  let kept = flow.Compaction.kept in
+  let dropped = flow.Compaction.dropped in
+  Printf.printf "file           %s\n" file;
+  Printf.printf "format         %s\n" Flow_io.version;
+  Printf.printf "fingerprint    %s\n" fingerprint;
+  Printf.printf "specs          %d\n" (Array.length specs);
+  Printf.printf "kept           %d\n" (Array.length kept);
+  Printf.printf "dropped        %d\n" (Array.length dropped);
+  Printf.printf "guard fraction %.17g\n" flow.Compaction.guard_fraction;
+  Printf.printf "measured guard %b\n" flow.Compaction.measured_guard;
+  Printf.printf "band           %s\n"
+    (match flow.Compaction.band with
+     | Some _ -> "trained guard-band model pair"
+     | None -> "none (identity flow)");
+  let name i = specs.(i).Spec.name in
+  Array.iter (fun i -> Printf.printf "  keep %s\n" (name i)) kept;
+  Array.iter (fun i -> Printf.printf "  drop %s\n" (name i)) dropped
+
+let flow_info_cmd =
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:"Print a saved flow's format version, fingerprint, kept and \
+             dropped specifications, and guard-band settings")
+    Term.(const run_flow_info $ flow_file_pos)
+
+let flow_cmd =
+  Cmd.group (Cmd.info "flow" ~doc:"Inspect saved stc-flow-1 files")
+    [ flow_info_cmd ]
 
 (* ----------------------------- selftest ---------------------------- *)
 
@@ -614,8 +837,18 @@ let selftest_cmd =
 (* ------------------------------- main ------------------------------ *)
 
 let () =
+  let exits =
+    Cmd.Exit.info 0 ~doc:"on success."
+    :: Cmd.Exit.info 1
+         ~doc:"on a genuine failure: a failing selftest, an option out of \
+               range, a server that could not run."
+    :: Cmd.Exit.info 2
+         ~doc:"on a data error: a corrupt flow file, a bad device CSV, an \
+               unusable journal."
+    :: Cmd.Exit.defaults
+  in
   let info =
-    Cmd.info "stc" ~version:"1.0.0"
+    Cmd.info "stc" ~version:"1.0.0" ~exits
       ~doc:"Specification test compaction for analog circuits and MEMS"
   in
   exit
@@ -628,5 +861,7 @@ let () =
             specs_cmd;
             train_cmd;
             serve_cmd;
+            server_cmd;
+            flow_cmd;
             selftest_cmd;
           ]))

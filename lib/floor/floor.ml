@@ -2,6 +2,7 @@ module Compaction = Stc.Compaction
 module Guard_band = Stc.Guard_band
 module Tester = Stc.Tester
 module Report = Stc.Report
+module Spec = Stc.Spec
 module Pool = Stc_process.Pool
 module Obs = Stc_obs.Registry
 
@@ -107,6 +108,10 @@ let create ?(config = default_config) flow =
 
 let flow t = t.flow
 let config t = t.config
+
+let full_test (flow : Compaction.flow) row =
+  Array.length row = Array.length flow.Compaction.specs
+  && Array.for_all2 Spec.passes flow.Compaction.specs row
 
 let stats t =
   let c = t.counters in

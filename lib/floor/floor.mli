@@ -55,6 +55,14 @@ val create : ?config:config -> Stc.Compaction.flow -> t
 val flow : t -> Stc.Compaction.flow
 val config : t -> config
 
+val full_test : Stc.Compaction.flow -> float array -> bool
+(** The complete specification test on a full-width measurement row:
+    true iff every spec (kept and dropped) passes its acceptance range.
+    This is the retest-station stand-in every serving front end uses
+    when the data source already carries all columns (`stc serve`'s
+    CSV, the network server's wire rows) — exposed here so they share
+    one definition. False (never raises) on a width mismatch. *)
+
 val process :
   ?retest:(float array -> bool) ->
   ?retry:Retry.policy ->

@@ -158,6 +158,13 @@ let of_string text =
             measured_guard;
           }
 
+(* ---------------------------- fingerprint ------------------------- *)
+
+let fingerprint flow =
+  match to_string flow with
+  | Error _ as e -> e
+  | Ok text -> Ok (Stc.Journal.fingerprint_hex text)
+
 (* ------------------------------- files ---------------------------- *)
 
 let save ~path flow =

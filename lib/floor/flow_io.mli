@@ -25,6 +25,14 @@ val of_string : string -> (Stc.Compaction.flow, string) result
     must lie in [[0, 1)], and the kept/dropped index lists must
     partition the spec indices. *)
 
+val fingerprint : Stc.Compaction.flow -> (string, string) result
+(** 16 hex digits over the canonical serialised form
+    ({!Stc.Journal.fingerprint_hex} of {!to_string}): two flows get the
+    same fingerprint iff they serialise byte-identically, so the network
+    registry ([Stc_net.Registry]) can tell a genuinely new flow from a
+    re-save of the current one before swapping engines. [Error] exactly
+    when {!to_string} fails (opaque band). *)
+
 val save : path:string -> Stc.Compaction.flow -> (unit, string) result
 
 val load : path:string -> (Stc.Compaction.flow, string) result

@@ -1,0 +1,617 @@
+module Obs = Stc_obs.Registry
+module Floor = Stc_floor.Floor
+module P = Protocol
+
+(* Process-wide serving counters; scraped live via METRICS. *)
+let m_connections = Obs.counter "stc_net_connections_total"
+let m_rejected = Obs.counter "stc_net_rejected_connections_total"
+let g_active = Obs.gauge "stc_net_active_connections"
+let m_requests = Obs.counter "stc_net_requests_total"
+let m_rows = Obs.counter "stc_net_rows_total"
+let m_batches = Obs.counter "stc_net_batches_total"
+let m_flushes = Obs.counter "stc_net_flushes_total"
+let m_deadline_flushes = Obs.counter "stc_net_deadline_flushes_total"
+let m_backpressure = Obs.counter "stc_net_backpressure_stalls_total"
+let m_errors = Obs.counter "stc_net_errors_total"
+let m_torn_frames = Obs.counter "stc_net_torn_frames_total"
+let h_flush = Obs.histogram "stc_net_flush_s"
+
+type config = {
+  host : string;
+  port : int;
+  backlog : int;
+  max_connections : int;
+  flush_rows : int;
+  flush_deadline_s : float;
+  max_pending : int;
+  escalate : bool;
+  retry : Stc_floor.Retry.policy option;
+  batch_deadline_s : float option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    backlog = 64;
+    max_connections = 64;
+    flush_rows = 256;
+    flush_deadline_s = 0.05;
+    max_pending = 4096;
+    escalate = true;
+    retry = None;
+    batch_deadline_s = None;
+  }
+
+type t = {
+  registry : Registry.t;
+  config : config;
+  lock : Mutex.t;
+  mutable listen_fd : Unix.file_descr option;
+  mutable bound_port : int;
+  mutable accept_thread : Thread.t option;
+  mutable conn_threads : Thread.t list;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  mutable next_conn_id : int;
+  stop_flag : bool Atomic.t;
+  shutdown_req : bool Atomic.t;
+  mutable started : bool;
+  mutable stopped : bool;
+}
+
+let create ?(config = default_config) registry =
+  if config.flush_rows < 1 then
+    invalid_arg "Server.create: flush_rows must be >= 1";
+  if config.flush_deadline_s <= 0.0 then
+    invalid_arg "Server.create: flush_deadline_s must be positive";
+  if config.max_pending < 1 then
+    invalid_arg "Server.create: max_pending must be >= 1";
+  if config.max_connections < 1 then
+    invalid_arg "Server.create: max_connections must be >= 1";
+  {
+    registry;
+    config;
+    lock = Mutex.create ();
+    listen_fd = None;
+    bound_port = -1;
+    accept_thread = None;
+    conn_threads = [];
+    conns = Hashtbl.create 16;
+    next_conn_id = 0;
+    stop_flag = Atomic.make false;
+    shutdown_req = Atomic.make false;
+    started = false;
+    stopped = false;
+  }
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ------------------------- connection I/O ------------------------- *)
+
+exception Conn_closed
+
+let write_all fd s =
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    match Unix.write_substring fd s !pos (n - !pos) with
+    | written -> pos := !pos + written
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+      ->
+      raise Conn_closed
+  done
+
+(* [true] when [fd] turns readable within [timeout_s] (negative =
+   forever); EINTR retries with the remaining time. *)
+let wait_readable fd timeout_s =
+  let deadline =
+    if timeout_s < 0.0 then None else Some (Unix.gettimeofday () +. timeout_s)
+  in
+  let rec go () =
+    let t =
+      match deadline with
+      | None -> -1.0
+      | Some d -> Stdlib.max 0.0 (d -. Unix.gettimeofday ())
+    in
+    match Unix.select [ fd ] [] [] t with
+    | [], _, _ -> false
+    | _ :: _, _, _ -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+type pending_item =
+  | Row of Registry.entry * float array
+  | Deferred_reply of string  (* a full reply line, e.g. ERR unknown-flow *)
+
+type conn = {
+  fd : Unix.file_descr;
+  lines : string Queue.t;       (* complete frames not yet handled *)
+  mutable leftover : string;    (* bytes after the last newline *)
+  mutable eof : bool;
+  pending : pending_item Queue.t;
+  mutable first_pending_t : float;
+}
+
+let recv_into conn =
+  let chunk = Bytes.create 65536 in
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) ->
+    conn.eof <- true
+  | 0 -> conn.eof <- true
+  | n ->
+    let data = conn.leftover ^ Bytes.sub_string chunk 0 n in
+    let pieces = String.split_on_char '\n' data in
+    let rec push = function
+      | [] -> conn.leftover <- ""
+      | [ last ] -> conn.leftover <- last
+      | line :: rest ->
+        Queue.push line conn.lines;
+        push rest
+    in
+    push pieces;
+    if String.length conn.leftover > P.max_line_bytes then begin
+      Obs.Counter.incr m_errors;
+      write_all conn.fd
+        (P.err_line ~code:"frame-too-long"
+           (Printf.sprintf "request line exceeds %d bytes" P.max_line_bytes)
+        ^ "\n");
+      raise Conn_closed
+    end
+
+(* ------------------------------ flushing -------------------------- *)
+
+let registry_process server entry rows =
+  Registry.process ~escalate:server.config.escalate ?retry:server.config.retry
+    ?batch_deadline_s:server.config.batch_deadline_s entry rows
+
+(* Answer every pending row, in request order, sharding maximal runs of
+   same-flow rows into one engine batch each. *)
+let flush_pending server conn reason =
+  let n = Queue.length conn.pending in
+  if n > 0 then begin
+    let t0 = Unix.gettimeofday () in
+    let items = Array.make n (Deferred_reply "") in
+    for i = 0 to n - 1 do
+      items.(i) <- Queue.pop conn.pending
+    done;
+    Obs.Counter.incr m_flushes;
+    if reason = `Deadline then Obs.Counter.incr m_deadline_flushes;
+    let replies = Array.make n "" in
+    let i = ref 0 in
+    while !i < n do
+      match items.(!i) with
+      | Deferred_reply line ->
+        replies.(!i) <- line;
+        incr i
+      | Row (entry, _) ->
+        let start = !i in
+        let stop = ref !i in
+        (* widen to the maximal same-entry run *)
+        while
+          !stop < n
+          && match items.(!stop) with
+             | Row (e, _) -> e == entry
+             | Deferred_reply _ -> false
+        do
+          incr stop
+        done;
+        let rows =
+          Array.init (!stop - start) (fun j ->
+              match items.(start + j) with
+              | Row (_, row) -> row
+              | Deferred_reply _ -> assert false)
+        in
+        (match registry_process server entry rows with
+         | Ok outcomes ->
+           Array.iteri
+             (fun j o -> replies.(start + j) <- P.format_outcome o)
+             outcomes
+         | Error e ->
+           Obs.Counter.incr m_errors;
+           let line = P.err_line ~code:"bad-row" e in
+           for j = start to !stop - 1 do
+             replies.(j) <- line
+           done);
+        i := !stop
+    done;
+    Obs.Counter.add m_rows n;
+    let buf = Buffer.create (n * 16) in
+    Array.iter
+      (fun line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n')
+      replies;
+    write_all conn.fd (Buffer.contents buf);
+    Obs.Histogram.observe h_flush (Unix.gettimeofday () -. t0)
+  end;
+  n
+
+(* The next complete frame. While rows are pending the wait is bounded
+   by the flush deadline — a trickling client still gets its verdicts
+   within [flush_deadline_s]. [None] at end of stream. *)
+let rec next_line server conn =
+  if not (Queue.is_empty conn.lines) then Some (Queue.pop conn.lines)
+  else if conn.eof then None
+  else begin
+    let timeout =
+      if Queue.is_empty conn.pending then -1.0
+      else
+        let age = Unix.gettimeofday () -. conn.first_pending_t in
+        Stdlib.max 0.0 (server.config.flush_deadline_s -. age)
+    in
+    if timeout = 0.0 then begin
+      ignore (flush_pending server conn `Deadline);
+      next_line server conn
+    end
+    else if wait_readable conn.fd timeout then begin
+      recv_into conn;
+      next_line server conn
+    end
+    else begin
+      ignore (flush_pending server conn `Deadline);
+      next_line server conn
+    end
+  end
+
+(* ------------------------------ requests -------------------------- *)
+
+exception Quit_conn
+
+let reply conn line = write_all conn.fd (line ^ "\n")
+
+let status_fields (st : Registry.status) =
+  Printf.sprintf
+    "version %d fingerprint %s specs %d kept %d dropped %d degraded %d"
+    st.Registry.version st.Registry.fingerprint st.Registry.specs
+    st.Registry.kept
+    (st.Registry.specs - st.Registry.kept)
+    (if st.Registry.degraded then 1 else 0)
+
+let handle_batch server conn name count =
+  match Registry.find server.registry name with
+  | None ->
+    Obs.Counter.incr m_errors;
+    reply conn (P.err_line ~code:"unknown-flow" (Printf.sprintf "flow %S" name))
+  | Some _ when count > server.config.max_pending ->
+    (* refusing without draining the declared rows would desync the
+       stream, and draining an unbounded count is an attack surface:
+       drop the connection instead *)
+    Obs.Counter.incr m_errors;
+    reply conn
+      (P.err_line ~code:"overflow"
+         (Printf.sprintf "BATCH of %d exceeds the %d-row bound" count
+            server.config.max_pending));
+    raise Quit_conn
+  | Some entry ->
+    let rows = Array.make count [||] in
+    let row_errors = Array.make count None in
+    for i = 0 to count - 1 do
+      match next_line server conn with
+      | None -> raise Conn_closed  (* mid-batch disconnect *)
+      | Some line -> (
+        match P.parse_row line with
+        | Ok row -> rows.(i) <- row
+        | Error e -> row_errors.(i) <- Some e)
+    done;
+    let valid_idx =
+      Array.to_list
+        (Array.of_seq
+           (Seq.filter
+              (fun i -> row_errors.(i) = None)
+              (Seq.init count Fun.id)))
+    in
+    let valid_rows = Array.of_list (List.map (fun i -> rows.(i)) valid_idx) in
+    let replies = Array.make count "" in
+    Array.iteri
+      (fun i e ->
+        match e with
+        | Some msg -> replies.(i) <- P.err_line ~code:"bad-row" msg
+        | None -> ())
+      row_errors;
+    (match registry_process server entry valid_rows with
+     | Ok outcomes ->
+       List.iteri
+         (fun j i -> replies.(i) <- P.format_outcome outcomes.(j))
+         valid_idx
+     | Error e ->
+       Obs.Counter.incr m_errors;
+       let line = P.err_line ~code:"bad-row" e in
+       List.iter (fun i -> replies.(i) <- line) valid_idx);
+    Obs.Counter.add m_rows count;
+    Obs.Counter.incr m_batches;
+    let buf = Buffer.create (count * 16 + 32) in
+    Buffer.add_string buf (P.ok_line (Printf.sprintf "batch %d" count));
+    Buffer.add_char buf '\n';
+    Array.iter
+      (fun line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n')
+      replies;
+    write_all conn.fd (Buffer.contents buf)
+
+let handle_request server conn req =
+  let flush () = ignore (flush_pending server conn `Request) in
+  match req with
+  | P.Bin (name, row) ->
+    if Queue.length conn.pending >= server.config.max_pending then begin
+      (* bounded queue: flush before accepting more — with the reply
+         written only now, the client's own read loop is the brake *)
+      Obs.Counter.incr m_backpressure;
+      ignore (flush_pending server conn `Size)
+    end;
+    if Queue.is_empty conn.pending then
+      conn.first_pending_t <- Unix.gettimeofday ();
+    (match Registry.find server.registry name with
+     | None ->
+       Obs.Counter.incr m_errors;
+       Queue.push
+         (Deferred_reply
+            (P.err_line ~code:"unknown-flow" (Printf.sprintf "flow %S" name)))
+         conn.pending
+     | Some entry -> Queue.push (Row (entry, row)) conn.pending);
+    if Queue.length conn.pending >= server.config.flush_rows then
+      ignore (flush_pending server conn `Size)
+  | P.Flush ->
+    let n = flush_pending server conn `Explicit in
+    reply conn (P.ok_line (Printf.sprintf "flushed %d" n))
+  | P.Ping ->
+    flush ();
+    reply conn (P.ok_line "pong")
+  | P.Flows ->
+    flush ();
+    let statuses = Registry.list server.registry in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (P.ok_line (Printf.sprintf "flows %d" (List.length statuses)));
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun (st : Registry.status) ->
+        Buffer.add_string buf
+          (Printf.sprintf "FLOW %s %d %s %d/%d\n" st.Registry.name
+             st.Registry.version st.Registry.fingerprint st.Registry.kept
+             st.Registry.specs))
+      statuses;
+    write_all conn.fd (Buffer.contents buf)
+  | P.Info name ->
+    flush ();
+    (match Registry.find server.registry name with
+     | None ->
+       Obs.Counter.incr m_errors;
+       reply conn
+         (P.err_line ~code:"unknown-flow" (Printf.sprintf "flow %S" name))
+     | Some entry ->
+       let st = Registry.status entry in
+       reply conn
+         (P.ok_line (Printf.sprintf "flow %s %s" name (status_fields st))))
+  | P.Stats name ->
+    flush ();
+    (match Registry.find server.registry name with
+     | None ->
+       Obs.Counter.incr m_errors;
+       reply conn
+         (P.err_line ~code:"unknown-flow" (Printf.sprintf "flow %S" name))
+     | Some entry ->
+       let st = Registry.status entry in
+       let s = st.Registry.stats in
+       reply conn
+         (P.ok_line
+            (Printf.sprintf
+               "stats devices %d shipped %d scrapped %d retested %d retries \
+                %d degraded %d batches %d degraded_mode %d version %d"
+               s.Floor.devices s.Floor.shipped s.Floor.scrapped s.Floor.retested
+               s.Floor.retries s.Floor.degraded s.Floor.batches
+               (if st.Registry.degraded then 1 else 0)
+               st.Registry.version)))
+  | P.Batch (name, count) ->
+    flush ();
+    handle_batch server conn name count
+  | P.Metrics fmt ->
+    flush ();
+    let payload =
+      match fmt with P.Text -> Obs.to_text () | P.Json -> Obs.to_json ()
+    in
+    let payload =
+      if String.length payload > 0 && payload.[String.length payload - 1] = '\n'
+      then payload
+      else payload ^ "\n"
+    in
+    reply conn (P.ok_line (Printf.sprintf "metrics %d" (String.length payload)));
+    write_all conn.fd payload
+  | P.Reload { flow; path } ->
+    flush ();
+    (match Registry.reload ?path server.registry ~name:flow with
+     | Ok (`Reloaded st) ->
+       reply conn
+         (P.ok_line
+            (Printf.sprintf "reloaded %s version %d fingerprint %s" flow
+               st.Registry.version st.Registry.fingerprint))
+     | Ok (`Unchanged st) ->
+       reply conn
+         (P.ok_line
+            (Printf.sprintf "unchanged %s version %d fingerprint %s" flow
+               st.Registry.version st.Registry.fingerprint))
+     | Error e ->
+       Obs.Counter.incr m_errors;
+       reply conn (P.err_line ~code:"reload" e))
+  | P.Quit ->
+    flush ();
+    reply conn (P.ok_line "bye");
+    raise Quit_conn
+  | P.Shutdown ->
+    flush ();
+    reply conn (P.ok_line "bye");
+    Atomic.set server.shutdown_req true;
+    raise Quit_conn
+
+(* ---------------------------- connections ------------------------- *)
+
+let handle_conn server conn =
+  let rec loop () =
+    match next_line server conn with
+    | None ->
+      (* end of stream; a partial frame left behind is a torn frame *)
+      if conn.leftover <> "" then Obs.Counter.incr m_torn_frames
+    | Some line ->
+      Obs.Counter.incr m_requests;
+      (match P.parse_request line with
+       | Ok req -> handle_request server conn req
+       | Error e ->
+         Obs.Counter.incr m_errors;
+         ignore (flush_pending server conn `Request);
+         reply conn (P.err_line ~code:"bad-request" e));
+      loop ()
+  in
+  loop ()
+
+let conn_main server id fd =
+  let conn =
+    {
+      fd;
+      lines = Queue.create ();
+      leftover = "";
+      eof = false;
+      pending = Queue.create ();
+      first_pending_t = 0.0;
+    }
+  in
+  (try handle_conn server conn with
+   | Quit_conn | Conn_closed -> ()
+   | Unix.Unix_error _ -> Obs.Counter.incr m_errors
+   | _ -> Obs.Counter.incr m_errors);
+  with_lock server.lock (fun () ->
+      if Hashtbl.mem server.conns id then begin
+        Hashtbl.remove server.conns id;
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      end);
+  Obs.Gauge.add g_active (-1.0)
+
+let accept_loop server lfd =
+  while not (Atomic.get server.stop_flag) do
+    if wait_readable lfd 0.2 then begin
+      match Unix.accept lfd with
+      | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+        Atomic.set server.stop_flag true
+      | fd, _addr ->
+        Obs.Counter.incr m_connections;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        let accepted =
+          with_lock server.lock (fun () ->
+              if
+                Atomic.get server.stop_flag
+                || Hashtbl.length server.conns >= server.config.max_connections
+              then false
+              else begin
+                let id = server.next_conn_id in
+                server.next_conn_id <- id + 1;
+                Hashtbl.add server.conns id fd;
+                let thread = Thread.create (fun () -> conn_main server id fd) () in
+                server.conn_threads <- thread :: server.conn_threads;
+                true
+              end)
+        in
+        if accepted then Obs.Gauge.add g_active 1.0
+        else begin
+          Obs.Counter.incr m_rejected;
+          (try
+             write_all fd
+               (P.err_line ~code:"busy" "connection limit reached" ^ "\n")
+           with Conn_closed -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        end
+    end
+  done
+
+(* ------------------------------ lifecycle ------------------------- *)
+
+let start t =
+  with_lock t.lock (fun () ->
+      if t.started then invalid_arg "Server.start: already started";
+      t.started <- true);
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     let addr = Unix.inet_addr_of_string t.config.host in
+     Unix.bind fd (Unix.ADDR_INET (addr, t.config.port));
+     Unix.listen fd t.config.backlog
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, port) -> port
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  t.listen_fd <- Some fd;
+  t.bound_port <- port;
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t fd) ())
+
+let port t =
+  if t.bound_port < 0 then invalid_arg "Server.port: server not started";
+  t.bound_port
+
+let running t = t.started && not t.stopped
+
+let shutdown_requested t = Atomic.get t.shutdown_req
+
+let stop t =
+  let proceed =
+    with_lock t.lock (fun () ->
+        if t.stopped || not t.started then false
+        else begin
+          t.stopped <- true;
+          true
+        end)
+  in
+  if proceed then begin
+    Atomic.set t.stop_flag true;
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (match t.listen_fd with
+     | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+     | None -> ());
+    t.listen_fd <- None;
+    (* wake every connection handler out of its blocking read; the fd
+       itself is closed by its own thread (or below if that thread is
+       already gone) *)
+    with_lock t.lock (fun () ->
+        Hashtbl.iter
+          (fun _ fd ->
+            try Unix.shutdown fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ())
+          t.conns);
+    let threads =
+      with_lock t.lock (fun () ->
+          let ts = t.conn_threads in
+          t.conn_threads <- [];
+          ts)
+    in
+    List.iter Thread.join threads;
+    with_lock t.lock (fun () ->
+        Hashtbl.iter
+          (fun _ fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+          t.conns;
+        Hashtbl.reset t.conns)
+  end
+
+let wait ?(poll_s = 0.1) ?(on_tick = fun () -> ()) t =
+  let rec go () =
+    if t.stopped then ()
+    else if Atomic.get t.shutdown_req then stop t
+    else begin
+      on_tick ();
+      Thread.delay poll_s;
+      go ()
+    end
+  in
+  go ()
+
+let with_server ?config registry f =
+  let t = create ?config registry in
+  start t;
+  Fun.protect ~finally:(fun () -> stop t) (fun () -> f t)

@@ -1,0 +1,81 @@
+(** The persistent multi-client flow server: a long-lived TCP listener
+    speaking the {!Protocol} line protocol, one blocking handler thread
+    per connection, batches sharded across the {!Registry}'s per-flow
+    engines.
+
+    {b Batching.} Pipelined [BIN] rows accumulate per connection and
+    flush as one {!Stc_floor.Floor} batch when (a) [flush_rows] rows
+    are pending, (b) the oldest pending row is [flush_deadline_s] old
+    (the handler waits in [select] with exactly that much timeout, so a
+    trickling client still gets answers), or (c) any non-[BIN] request
+    arrives. Replies preserve request order.
+
+    {b Backpressure.} The pending queue is bounded by [max_pending]:
+    reaching the bound forces a flush before the next read (counted in
+    [stc_net_backpressure_stalls_total]), so a client that pipelines
+    faster than the engine bins is throttled by TCP itself — the server
+    simply stops reading — and per-connection memory stays bounded.
+
+    {b Resilience.} Guard-band escalation runs under the server's
+    {!Stc_floor.Retry} policy and batch deadline, with
+    {!Stc_floor.Floor}'s sticky degraded mode per flow engine: a
+    failing full-test path sheds guard devices as [RETEST] bins — every
+    row always gets a reply line; no device is ever dropped. Torn
+    frames, oversized lines and mid-batch disconnects kill only their
+    own connection.
+
+    A [SHUTDOWN] request latches {!shutdown_requested}; the owner (CLI
+    main loop, test harness) observes it via {!wait} and calls
+    {!stop}, which closes the listener, shuts each live connection
+    down, and joins every thread. *)
+
+type config = {
+  host : string;            (** bind address, default ["127.0.0.1"] *)
+  port : int;               (** 0 picks an ephemeral port (see {!port}) *)
+  backlog : int;            (** listen queue, default 64 *)
+  max_connections : int;    (** concurrent clients, default 64 *)
+  flush_rows : int;         (** batch flush threshold, default 256 *)
+  flush_deadline_s : float; (** max age of a pending row, default 0.05 *)
+  max_pending : int;        (** bounded pending-row queue, default 4096 *)
+  escalate : bool;          (** full-test guard rows (default true) *)
+  retry : Stc_floor.Retry.policy option;  (** escalation retry policy *)
+  batch_deadline_s : float option;  (** per-batch escalation bound *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Registry.t -> t
+(** The registry is shared, not owned: {!stop} does not shut it down.
+    Raises [Invalid_argument] on non-positive [flush_rows],
+    [flush_deadline_s], [max_pending] or [max_connections]. *)
+
+val start : t -> unit
+(** Binds, listens, and spawns the accept thread; returns immediately.
+    Raises [Unix.Unix_error] when the address cannot be bound, and
+    [Invalid_argument] if already started. *)
+
+val port : t -> int
+(** The bound port (resolves [port = 0]); raises [Invalid_argument]
+    before {!start}. *)
+
+val running : t -> bool
+
+val shutdown_requested : t -> bool
+(** True once a client has sent [SHUTDOWN]. *)
+
+val wait : ?poll_s:float -> ?on_tick:(unit -> unit) -> t -> unit
+(** Blocks until {!stop} is called or a [SHUTDOWN] request arrives (in
+    which case it calls {!stop} itself). [on_tick] (with [poll_s]
+    period, default 0.1 s) runs between polls on the waiting thread —
+    the CLI uses it to service signal-driven reloads outside signal
+    context. *)
+
+val stop : t -> unit
+(** Stops accepting, shuts down every live connection socket, joins the
+    accept and connection threads. Idempotent; safe from any thread
+    except a connection handler's own. *)
+
+val with_server : ?config:config -> Registry.t -> (t -> 'a) -> 'a
+(** [create] + [start], run the callback, always [stop]. *)

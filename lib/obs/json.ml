@@ -33,6 +33,246 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* ------------------------------ parsing --------------------------- *)
+
+(* A recursive-descent RFC 8259 parser, added for the network serving
+   tier: a METRICS scrape returns the registry's JSON export, and both
+   the test client and the QA checks need to read it back without an
+   external dependency. Errors carry the byte offset. *)
+
+exception Parse_error of int * string
+
+let of_string text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some got when got = c -> advance ()
+    | Some got -> error (Printf.sprintf "expected %C, got %C" c got)
+    | None -> error (Printf.sprintf "expected %C, got end of input" c)
+  in
+  let literal word value =
+    let w = String.length word in
+    if !pos + w <= n && String.sub text !pos w = word then begin
+      pos := !pos + w;
+      value
+    end
+    else error (Printf.sprintf "invalid literal (expected %s)" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then error "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match text.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | c -> error (Printf.sprintf "bad hex digit %C in \\u escape" c)
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  (* encode one code point as UTF-8; surrogate pairs are combined by
+     the caller *)
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> error "unterminated string"
+      | Some '"' ->
+        advance ();
+        Buffer.contents buf
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | None -> error "unterminated escape"
+         | Some c ->
+           advance ();
+           (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+              let cp = hex4 () in
+              let cp =
+                if cp >= 0xd800 && cp <= 0xdbff then begin
+                  (* high surrogate: a low surrogate must follow *)
+                  if
+                    !pos + 1 < n && text.[!pos] = '\\' && text.[!pos + 1] = 'u'
+                  then begin
+                    pos := !pos + 2;
+                    let lo = hex4 () in
+                    if lo >= 0xdc00 && lo <= 0xdfff then
+                      0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00)
+                    else error "invalid low surrogate"
+                  end
+                  else error "unpaired high surrogate"
+                end
+                else if cp >= 0xdc00 && cp <= 0xdfff then
+                  error "unpaired low surrogate"
+                else cp
+              in
+              add_utf8 buf cp
+            | c -> error (Printf.sprintf "invalid escape \\%C" c)));
+        go ()
+      | Some c when Char.code c < 0x20 ->
+        error "unescaped control character in string"
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !pos in
+      while
+        !pos < n && (match text.[!pos] with '0' .. '9' -> true | _ -> false)
+      do
+        advance ()
+      done;
+      if !pos = d0 then error "malformed number"
+    in
+    (* RFC 8259 int part: a lone 0, or a nonzero digit then digits *)
+    (match peek () with
+     | Some '0' -> (
+       advance ();
+       match peek () with
+       | Some '0' .. '9' -> error "leading zero in number"
+       | _ -> ())
+     | Some '1' .. '9' -> digits ()
+     | _ -> error "malformed number");
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+     | Some ('e' | 'E') ->
+       advance ();
+       (match peek () with
+        | Some ('+' | '-') -> advance ()
+        | _ -> ());
+       digits ()
+     | _ -> ());
+    let s = String.sub text start (!pos - start) in
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> error (Printf.sprintf "malformed number %S" s)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> error "expected ',' or '}' in object"
+        in
+        fields []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> error "expected ',' or ']' in array"
+        in
+        items []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> Num (parse_number ())
+    | Some c -> error (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then error "trailing content after JSON value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) ->
+    Error (Printf.sprintf "byte %d: %s" at msg)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
 let to_string ?(indent = true) t =
   let buf = Buffer.create 1024 in
   let pad depth = if indent then Buffer.add_string buf (String.make (2 * depth) ' ') in

@@ -1,8 +1,7 @@
-(** A minimal JSON writer — just enough for the metric exporter and the
-    bench harness's machine-readable [BENCH_*.json] files, so neither
-    pulls in an external JSON dependency. Writing only; the repo never
-    needs to parse general JSON back (the metric text format is the
-    round-trippable one). *)
+(** A minimal JSON reader/writer — just enough for the metric exporter,
+    the bench harness's machine-readable [BENCH_*.json] files, and the
+    network serving tier's [METRICS] scrape endpoint, so none of them
+    pulls in an external JSON dependency. *)
 
 type t =
   | Null
@@ -19,3 +18,14 @@ val num_to_string : float -> string
 val to_string : ?indent:bool -> t -> string
 (** [indent] (default true) pretty-prints with two-space indentation;
     strings are escaped per RFC 8259. *)
+
+val of_string : string -> (t, string) result
+(** Parses one RFC 8259 JSON value (objects keep field order, duplicate
+    keys are kept as-is). For any [t] whose numbers are finite,
+    [of_string (to_string t) = Ok t]. Errors are ["byte %d: %s"]-
+    prefixed; trailing non-whitespace content is rejected. [\u] escapes
+    decode to UTF-8 (surrogate pairs combined). *)
+
+val member : string -> t -> t option
+(** First field of that name when the value is an [Obj]; [None]
+    otherwise — the lookup shape every scrape consumer needs. *)

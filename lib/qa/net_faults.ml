@@ -1,0 +1,187 @@
+module Floor = Stc_floor.Floor
+module Flow_io = Stc_floor.Flow_io
+module Protocol = Stc_net.Protocol
+module Registry = Stc_net.Registry
+module Server = Stc_net.Server
+module Client = Stc_net.Client
+
+let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f ()
+
+(* what the server must reproduce bit-identically: the offline engine
+   with the server's default escalation (full test on guard rows) *)
+let offline_reference flow rows =
+  Floor.with_engine flow (fun engine ->
+      Floor.process ~retest:(Floor.full_test flow) engine rows)
+
+let same_outcomes ~what reference got =
+  if Array.length got <> Array.length reference then
+    Error
+      (Printf.sprintf "%s: %d replies for %d rows" what (Array.length got)
+         (Array.length reference))
+  else begin
+    let mismatch = ref None in
+    Array.iteri
+      (fun i (o : Floor.outcome) ->
+        if !mismatch = None && o <> reference.(i) then
+          mismatch :=
+            Some
+              (Printf.sprintf "%s: row %d got %S, reference %S" what i
+                 (Protocol.format_outcome o)
+                 (Protocol.format_outcome reference.(i))))
+      got;
+    match !mismatch with None -> Ok () | Some e -> Error e
+  end
+
+let flow_route = "dut"
+
+let with_loopback_server flow f =
+  let registry = Registry.create () in
+  match Registry.add registry ~name:flow_route flow with
+  | Error e -> Error ("registry add: " ^ e)
+  | Ok entry ->
+    Fun.protect
+      ~finally:(fun () -> Registry.shutdown registry)
+      (fun () ->
+        let config =
+          { Server.default_config with Server.flush_deadline_s = 0.02 }
+        in
+        Server.with_server ~config registry (fun server ->
+            f ~port:(Server.port server) ~registry ~entry))
+
+let connect_raw port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let send_all fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+
+(* one byte per syscall: the framing layer must reassemble the frame *)
+let dribble fd s =
+  String.iter (fun c -> send_all fd (String.make 1 c)) s
+
+let expect_prefix ~what prefix line =
+  if String.length line >= String.length prefix
+     && String.sub line 0 (String.length prefix) = prefix
+  then Ok ()
+  else Error (Printf.sprintf "%s: expected %S..., got %S" what prefix line)
+
+let fresh_client_matches ~what ~port flow rows reference =
+  let c = Client.connect ~port () in
+  Fun.protect
+    ~finally:(fun () -> Client.quit c)
+    (fun () ->
+      match Client.bin_batch c ~flow rows with
+      | Error e -> Error (Printf.sprintf "%s: fresh client: %s" what e)
+      | Ok got -> same_outcomes ~what reference got)
+
+let check_torn_frames (flow, rows) =
+  let reference = offline_reference flow rows in
+  with_loopback_server flow @@ fun ~port ~registry:_ ~entry:_ ->
+  let fd = connect_raw port in
+  let ic = Unix.in_channel_of_descr fd in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  dribble fd "PING\n";
+  let* () = expect_prefix ~what:"dribbled PING" "OK pong" (input_line ic) in
+  send_all fd "XYZZY definitely not a request\n";
+  let* () =
+    expect_prefix ~what:"garbage verb" "ERR bad-request" (input_line ic)
+  in
+  (* the abused connection must still work... *)
+  dribble fd "PING\n";
+  let* () = expect_prefix ~what:"PING after garbage" "OK pong" (input_line ic) in
+  (* ...and a frame torn by a disconnect must only kill its own
+     connection *)
+  let torn = connect_raw port in
+  send_all torn ("BIN " ^ flow_route ^ " 1.5,2.5");
+  Unix.close torn;
+  fresh_client_matches ~what:"after torn frame" ~port flow_route rows reference
+
+let check_mid_batch_disconnect (flow, rows) =
+  let n = Array.length rows in
+  if n < 2 then Ok ()
+  else begin
+    let reference = offline_reference flow rows in
+    with_loopback_server flow @@ fun ~port ~registry:_ ~entry:_ ->
+    let fd = connect_raw port in
+    send_all fd (Printf.sprintf "BATCH %s %d\n" flow_route n);
+    for i = 0 to (n / 2) - 1 do
+      send_all fd (Protocol.format_row rows.(i) ^ "\n")
+    done;
+    Unix.close fd;
+    fresh_client_matches ~what:"after mid-batch disconnect" ~port flow_route
+      rows reference
+  end
+
+let check_reload_inflight (flow, rows) =
+  let reference = offline_reference flow rows in
+  let path = Filename.temp_file "stc_qa_net" ".flow" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      match Flow_io.save ~path flow with
+      | Error e -> Error ("save flow: " ^ e)
+      | Ok () ->
+        with_loopback_server flow @@ fun ~port ~registry ~entry ->
+        let iters = 4 in
+        let client_errors = ref [] in
+        let finished = Atomic.make false in
+        let client_thread =
+          Thread.create
+            (fun () ->
+              Fun.protect
+                ~finally:(fun () -> Atomic.set finished true)
+                (fun () ->
+                  let c = Client.connect ~port () in
+                  Fun.protect
+                    ~finally:(fun () -> Client.quit c)
+                    (fun () ->
+                      for iter = 1 to iters do
+                        match Client.bin_batch c ~flow:flow_route rows with
+                        | Error e ->
+                          client_errors :=
+                            Printf.sprintf "iteration %d: %s" iter e
+                            :: !client_errors
+                        | Ok got -> (
+                          match
+                            same_outcomes
+                              ~what:(Printf.sprintf "iteration %d" iter)
+                              reference got
+                          with
+                          | Ok () -> ()
+                          | Error e -> client_errors := e :: !client_errors)
+                      done)))
+            ()
+        in
+        (* hammer forced swaps of a semantically identical flow while
+           the client streams: the drain must keep every batch on one
+           engine *)
+        let reloads = ref 0 in
+        let reload_failure = ref None in
+        while not (Atomic.get finished) && !reload_failure = None do
+          (match Registry.reload ~force:true ~path registry ~name:flow_route with
+           | Ok (`Reloaded _) -> incr reloads
+           | Ok (`Unchanged _) ->
+             reload_failure := Some "forced reload reported `Unchanged"
+           | Error e -> reload_failure := Some ("reload: " ^ e));
+          Thread.delay 0.001
+        done;
+        Thread.join client_thread;
+        let* () =
+          match !reload_failure with None -> Ok () | Some e -> Error e
+        in
+        let* () =
+          match !client_errors with
+          | [] -> Ok ()
+          | e :: _ -> Error ("under reload: " ^ e)
+        in
+        let version = (Registry.status entry).Registry.version in
+        if version <> 1 + !reloads then
+          Error
+            (Printf.sprintf "version %d after %d forced reloads (expected %d)"
+               version !reloads (1 + !reloads))
+        else if !reloads = 0 then
+          Error "no reload completed while the client streamed"
+        else Ok ())

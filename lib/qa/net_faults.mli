@@ -1,0 +1,35 @@
+(** Fault injection for the {!Stc_net} serving stack: a real loopback
+    server under attack from misbehaving clients.
+
+    Each check boots a throwaway registry + server on an ephemeral
+    loopback port, runs its attack, and asserts the server contract:
+    abuse kills at most the abusing connection — a fresh client must
+    still get verdicts {e bit-identical} to an offline
+    {!Stc_floor.Floor.process} run over the same flow, and the process
+    must never see an uncaught exception. Checks return
+    [(unit, string) result] so they compose with {!Faults} checks in
+    {!Selftest}. *)
+
+val check_torn_frames :
+  Stc.Compaction.flow * float array array -> (unit, string) result
+(** Dribbles a valid request one byte at a time (the framing layer must
+    reassemble it), sends a garbage verb (typed [ERR bad-request], the
+    connection stays usable), and abandons a connection mid-frame with
+    no trailing newline (counted as a torn frame, nothing else
+    disturbed). The surviving connection's verdicts must equal the
+    offline reference. *)
+
+val check_mid_batch_disconnect :
+  Stc.Compaction.flow * float array array -> (unit, string) result
+(** Declares [BATCH n] and disconnects after sending fewer than [n]
+    rows. Only that connection dies: a fresh client then runs the full
+    batch and must match the offline reference. *)
+
+val check_reload_inflight :
+  Stc.Compaction.flow * float array array -> (unit, string) result
+(** Hammers forced hot reloads (same file, so the flow is semantically
+    identical) from the serving thread while a client streams batches
+    concurrently. Every row must be answered, every verdict must equal
+    the offline reference (the swap drains — no batch straddles two
+    engines), and the entry's version must have advanced by exactly the
+    number of successful reloads. *)

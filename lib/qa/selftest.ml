@@ -177,6 +177,14 @@ let run ?(seed = 2005) ?(flows = 1000) ?(rows_per_flow = 16)
          let* () = Faults.check_floor_degraded ~classify_permanent:(i mod 2 = 0) in
          Faults.check_floor_batch_deadline ()));
 
+  push
+    (section ~name:"fault: network serving" ~cases:2 (fun i ->
+         let pooled = next_pooled i in
+         let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+         let* () = Net_faults.check_torn_frames pooled in
+         let* () = Net_faults.check_mid_batch_disconnect pooled in
+         Net_faults.check_reload_inflight pooled));
+
   (* 7. observability: metric-exporter round trips and span nesting *)
   push
     (section ~name:"observability" ~cases:(Stdlib.max 20 (flows / 20))

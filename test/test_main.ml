@@ -14,5 +14,5 @@ let () =
      @ Test_floor.suites
      @ Test_extensions.suites
      @ Test_integration.suites
-     @ Test_qa.suites @ Test_resilience.suites
+     @ Test_qa.suites @ Test_resilience.suites @ Test_net.suites
      @ Test_obs.suites @ Test_units.suites @ Test_golden.suites)

@@ -1,0 +1,466 @@
+(* The network serving stack: protocol frames, the versioned registry
+   with hot reload, and the live loopback server against the offline
+   Floor reference. *)
+
+module Compaction = Stc.Compaction
+module Tester = Stc.Tester
+module Guard_band = Stc.Guard_band
+module Floor = Stc_floor.Floor
+module Flow_io = Stc_floor.Flow_io
+module Gen = Stc_qa.Gen
+module Protocol = Stc_net.Protocol
+module Registry = Stc_net.Registry
+module Server = Stc_net.Server
+module Client = Stc_net.Client
+module Obs = Stc_obs.Registry
+module Json = Stc_obs.Json
+
+let pooled seed ~rows =
+  Gen.run ~seed (Gen.flow_with_rows ~rows_per_flow:rows)
+
+(* the contract the wire must reproduce bit-identically *)
+let offline_reference flow rows =
+  Floor.with_engine flow (fun engine ->
+      Floor.process ~retest:(Floor.full_test flow) engine rows)
+
+let outcome =
+  Alcotest.testable
+    (fun fmt o -> Format.pp_print_string fmt (Protocol.format_outcome o))
+    ( = )
+
+let check_outcomes what reference got =
+  Alcotest.(check (array outcome)) what reference got
+
+let save_flow_tmp flow =
+  let path = Filename.temp_file "stc_test_net" ".flow" in
+  (match Flow_io.save ~path flow with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail ("cannot save flow: " ^ e));
+  path
+
+let with_served ?config flow f =
+  let path = save_flow_tmp flow in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let registry = Registry.create () in
+      let entry =
+        match Registry.load registry ~name:"dut" ~path with
+        | Ok e -> e
+        | Error e -> Alcotest.fail e
+      in
+      Fun.protect
+        ~finally:(fun () -> Registry.shutdown registry)
+        (fun () ->
+          Server.with_server ?config registry (fun server ->
+              f ~server ~registry ~entry ~path)))
+
+let with_client ~server f =
+  let c = Client.connect ~port:(Server.port server) () in
+  Fun.protect ~finally:(fun () -> Client.quit c) (fun () -> f c)
+
+let get = function Ok v -> v | Error e -> Alcotest.fail e
+
+(* ------------------------------ protocol -------------------------- *)
+
+let protocol_tests =
+  [
+    Alcotest.test_case "requests round-trip through the wire form" `Quick
+      (fun () ->
+        List.iter
+          (fun req ->
+            match Protocol.parse_request (Protocol.format_request req) with
+            | Ok back ->
+              Alcotest.(check string)
+                "round trip"
+                (Protocol.format_request req)
+                (Protocol.format_request back)
+            | Error e -> Alcotest.fail e)
+          [
+            Protocol.Ping;
+            Protocol.Flows;
+            Protocol.Flush;
+            Protocol.Quit;
+            Protocol.Shutdown;
+            Protocol.Metrics Protocol.Text;
+            Protocol.Metrics Protocol.Json;
+            Protocol.Info "opamp";
+            Protocol.Stats "mems.hot-1";
+            Protocol.Batch ("a_b:c", 4096);
+            Protocol.Bin ("dut", [| 0.1; -3.25e-7; 1234567.875; 0.0 |]);
+            Protocol.Reload { flow = "dut"; path = None };
+            Protocol.Reload
+              { flow = "dut"; path = Some "/tmp/with space/flow.stc" };
+          ]);
+    Alcotest.test_case "rows keep every bit through %.17g" `Quick (fun () ->
+        let row =
+          [| 1.0 /. 3.0; -1.2345678901234567e-300; 6.02214076e23; 0.1 |]
+        in
+        let back = get (Protocol.parse_row (Protocol.format_row row)) in
+        Alcotest.(check (array (float 0.0))) "bit-identical" row back);
+    Alcotest.test_case "all nine outcomes round-trip" `Quick (fun () ->
+        List.iter
+          (fun bin ->
+            List.iter
+              (fun verdict ->
+                let o = { Floor.bin; verdict } in
+                Alcotest.check outcome "round trip" o
+                  (get (Protocol.parse_outcome (Protocol.format_outcome o))))
+              [ Guard_band.Good; Guard_band.Bad; Guard_band.Guard ])
+          [ Tester.Ship; Tester.Scrap; Tester.Retest ]);
+    Alcotest.test_case "malformed requests are typed errors" `Quick (fun () ->
+        List.iter
+          (fun line ->
+            match Protocol.parse_request line with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail (Printf.sprintf "%S parsed" line))
+          [
+            "";
+            "BOGUS";
+            "BIN";
+            "BIN dut";
+            "BIN dut 1.0,x";
+            "BIN dut 1.0,nan";
+            "BIN b@d 1.0";
+            "BATCH dut -1";
+            "BATCH dut many";
+            "METRICS xml";
+            "INFO";
+            "bin dut 1.0";
+          ]);
+    Alcotest.test_case "flow names are fenced" `Quick (fun () ->
+        List.iter
+          (fun (name, ok) ->
+            Alcotest.(check bool) name ok (Protocol.flow_name_ok name))
+          [
+            ("opamp", true);
+            ("mems.hot:T-40_v2", true);
+            (String.make 64 'x', true);
+            (String.make 65 'x', false);
+            ("", false);
+            ("sp ace", false);
+            ("new\nline", false);
+            ("s/lash", false);
+          ]);
+    Alcotest.test_case "replies parse and never embed frame breaks" `Quick
+      (fun () ->
+        (match Protocol.parse_reply (Protocol.ok_line "pong") with
+         | Ok (`Ok "pong") -> ()
+         | _ -> Alcotest.fail "OK reply");
+        (match
+           Protocol.parse_reply (Protocol.err_line ~code:"bad-row" "line\nbreak")
+         with
+         | Ok (`Err ("bad-row", msg)) ->
+           Alcotest.(check bool) "flattened" false (String.contains msg '\n')
+         | _ -> Alcotest.fail "ERR reply");
+        match Protocol.parse_reply "NONSENSE" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "garbage reply parsed");
+  ]
+
+(* ------------------------------ registry -------------------------- *)
+
+let registry_tests =
+  [
+    Alcotest.test_case "add, find, duplicate and bad names" `Quick (fun () ->
+        let flow, _ = pooled 31 ~rows:4 in
+        let r = Registry.create () in
+        let entry = get (Registry.add r ~name:"a" flow) in
+        Alcotest.(check bool) "found" true (Registry.find r "a" <> None);
+        Alcotest.(check bool) "missing" true (Registry.find r "b" = None);
+        (match Registry.add r ~name:"a" flow with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.fail "duplicate accepted");
+        (match Registry.add r ~name:"b a d" flow with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.fail "invalid name accepted");
+        let st = Registry.status entry in
+        Alcotest.(check int) "version 1" 1 st.Registry.version;
+        Alcotest.(check string)
+          "fingerprint is the flow's"
+          (get (Flow_io.fingerprint flow))
+          st.Registry.fingerprint;
+        Registry.shutdown r);
+    Alcotest.test_case "process refuses width mismatches whole" `Quick
+      (fun () ->
+        let flow, rows = pooled 32 ~rows:3 in
+        let r = Registry.create () in
+        let entry = get (Registry.add r ~name:"a" flow) in
+        let bad = Array.append rows [| [| 1.0 |] |] in
+        (match Registry.process entry bad with
+         | Error e ->
+           Alcotest.(check bool) "names the flow" true
+             (String.length e > 0)
+         | Ok _ -> Alcotest.fail "ragged batch accepted");
+        let reference = offline_reference flow rows in
+        check_outcomes "intact rows still served" reference
+          (get (Registry.process entry rows));
+        Registry.shutdown r);
+    Alcotest.test_case "reload: unchanged, swapped, failed, forced" `Quick
+      (fun () ->
+        let flow, rows = pooled 33 ~rows:4 in
+        let path = Filename.temp_file "stc_test_net" ".flow" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            (match Flow_io.save ~path flow with
+             | Ok () -> ()
+             | Error e -> Alcotest.fail e);
+            let r = Registry.create () in
+            let entry = get (Registry.load r ~name:"a" ~path) in
+            (* same bytes: no churn *)
+            (match Registry.reload r ~name:"a" with
+             | Ok (`Unchanged st) ->
+               Alcotest.(check int) "version kept" 1 st.Registry.version
+             | Ok (`Reloaded _) -> Alcotest.fail "same bytes churned the engine"
+             | Error e -> Alcotest.fail e);
+            (* forced: a genuine swap of identical semantics *)
+            (match Registry.reload ~force:true r ~name:"a" with
+             | Ok (`Reloaded st) ->
+               Alcotest.(check int) "version bumped" 2 st.Registry.version
+             | Ok (`Unchanged _) -> Alcotest.fail "force did not swap"
+             | Error e -> Alcotest.fail e);
+            let reference = offline_reference flow rows in
+            check_outcomes "identical verdicts after forced swap" reference
+              (get (Registry.process entry rows));
+            (* a different flow: swap + versions advance *)
+            let identity = Compaction.identity_flow flow.Compaction.specs in
+            (match Flow_io.save ~path identity with
+             | Ok () -> ()
+             | Error e -> Alcotest.fail e);
+            (match Registry.reload r ~name:"a" with
+             | Ok (`Reloaded st) ->
+               Alcotest.(check int) "version 3" 3 st.Registry.version;
+               Alcotest.(check int) "all specs kept now"
+                 (Array.length flow.Compaction.specs)
+                 st.Registry.kept
+             | Ok (`Unchanged _) -> Alcotest.fail "new flow not swapped"
+             | Error e -> Alcotest.fail e);
+            (* a corrupt file must leave the new flow serving *)
+            let oc = open_out path in
+            output_string oc "stc-flow-999\ngarbage\n";
+            close_out oc;
+            (match Registry.reload r ~name:"a" with
+             | Error _ -> ()
+             | Ok _ -> Alcotest.fail "corrupt file accepted");
+            let st = Registry.status entry in
+            Alcotest.(check int) "version untouched" 3 st.Registry.version;
+            check_outcomes "identity flow still serving"
+              (offline_reference identity rows)
+              (get (Registry.process entry rows));
+            Registry.shutdown r));
+    Alcotest.test_case "reload without a source is an error" `Quick (fun () ->
+        let flow, _ = pooled 34 ~rows:3 in
+        let r = Registry.create () in
+        let _entry = get (Registry.add r ~name:"a" flow) in
+        (match Registry.reload r ~name:"a" with
+         | Error e ->
+           Alcotest.(check bool) "mentions source" true
+             (String.length e > 0)
+         | Ok _ -> Alcotest.fail "reload without source succeeded");
+        (match Registry.reload r ~name:"ghost" with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.fail "unknown flow reloaded");
+        Registry.shutdown r);
+  ]
+
+(* ------------------------------- server --------------------------- *)
+
+let server_tests =
+  [
+    Alcotest.test_case "streamed and batched rows match the offline engine"
+      `Quick (fun () ->
+        let flow, rows = pooled 41 ~rows:24 in
+        let reference = offline_reference flow rows in
+        with_served flow (fun ~server ~registry:_ ~entry:_ ~path:_ ->
+            with_client ~server (fun c ->
+                check_outcomes "BATCH path" reference
+                  (get (Client.bin_batch c ~flow:"dut" rows));
+                check_outcomes "pipelined BIN path" reference
+                  (get (Client.stream c ~flow:"dut" rows));
+                (match Client.ping c with
+                 | Ok () -> ()
+                 | Error e -> Alcotest.fail e))));
+    Alcotest.test_case "deadline flush answers a trickling client" `Quick
+      (fun () ->
+        let flow, rows = pooled 42 ~rows:4 in
+        let reference = offline_reference flow rows in
+        let config =
+          { Server.default_config with
+            Server.flush_rows = 1000; flush_deadline_s = 0.02 }
+        in
+        with_served ~config flow (fun ~server ~registry:_ ~entry:_ ~path:_ ->
+            with_client ~server (fun c ->
+                (* one lone BIN, nothing else: only the deadline can
+                   flush it *)
+                Client.send_line c
+                  (Protocol.format_request (Protocol.Bin ("dut", rows.(0))));
+                let t0 = Unix.gettimeofday () in
+                let o = get (Protocol.parse_outcome (Client.recv_line c)) in
+                let waited = Unix.gettimeofday () -. t0 in
+                Alcotest.check outcome "verdict" reference.(0) o;
+                Alcotest.(check bool) "within ~10x deadline" true
+                  (waited < 0.2))));
+    Alcotest.test_case "unknown flows and bad rows keep the order" `Quick
+      (fun () ->
+        let flow, rows = pooled 43 ~rows:6 in
+        let reference = offline_reference flow rows in
+        with_served flow (fun ~server ~registry:_ ~entry:_ ~path:_ ->
+            with_client ~server (fun c ->
+                (* a bad row in the middle of a pipeline: replies stay
+                   aligned, the connection stays up *)
+                Client.send_line c
+                  (Protocol.format_request (Protocol.Bin ("dut", rows.(0))));
+                Client.send_line c
+                  (Protocol.format_request (Protocol.Bin ("ghost", rows.(1))));
+                Client.send_line c
+                  (Protocol.format_request (Protocol.Bin ("dut", rows.(2))));
+                Client.send_line c (Protocol.format_request Protocol.Flush);
+                Alcotest.check outcome "row 0" reference.(0)
+                  (get (Protocol.parse_outcome (Client.recv_line c)));
+                (match Protocol.parse_reply (Client.recv_line c) with
+                 | Ok (`Err ("unknown-flow", _)) -> ()
+                 | other ->
+                   Alcotest.fail
+                     (match other with
+                      | Ok (`Ok d) -> "unexpected OK " ^ d
+                      | Ok (`Err (c, m)) -> "unexpected ERR " ^ c ^ " " ^ m
+                      | Error e -> e));
+                Alcotest.check outcome "row 2" reference.(2)
+                  (get (Protocol.parse_outcome (Client.recv_line c)));
+                (match Protocol.parse_reply (Client.recv_line c) with
+                 | Ok (`Ok _) -> ()
+                 | _ -> Alcotest.fail "missing FLUSH ack"))));
+    Alcotest.test_case
+      "concurrent clients stay bit-identical across a live hot reload"
+      `Quick (fun () ->
+        let flow, rows = pooled 44 ~rows:40 in
+        let reference = offline_reference flow rows in
+        with_served flow (fun ~server ~registry ~entry ~path ->
+            let n_clients = 4 in
+            let iters = 3 in
+            let errors = Array.make n_clients None in
+            let running = Atomic.make n_clients in
+            let threads =
+              Array.init n_clients (fun k ->
+                  Thread.create
+                    (fun () ->
+                      Fun.protect
+                        ~finally:(fun () -> Atomic.decr running)
+                        (fun () ->
+                          try
+                            with_client ~server (fun c ->
+                                for _ = 1 to iters do
+                                  let got =
+                                    get
+                                      (if k mod 2 = 0 then
+                                         Client.bin_batch c ~flow:"dut" rows
+                                       else Client.stream c ~flow:"dut" rows)
+                                  in
+                                  check_outcomes "verdicts" reference got
+                                done)
+                          with e -> errors.(k) <- Some (Printexc.to_string e)))
+                    ())
+            in
+            (* mid-run: a protocol reload to the identical file (no-op)
+               and forced in-process swaps (genuine drains) *)
+            let reloads = ref 0 in
+            with_client ~server (fun admin ->
+                (match Client.reload admin ~flow:"dut" () with
+                 | Ok (`Unchanged, _) -> ()
+                 | Ok (`Reloaded, _) ->
+                   Alcotest.fail "identical file reported Reloaded"
+                 | Error e -> Alcotest.fail e);
+                while Atomic.get running > 0 && !reloads < 100 do
+                  (match
+                     Registry.reload ~force:true ~path registry ~name:"dut"
+                   with
+                   | Ok (`Reloaded _) -> incr reloads
+                   | Ok (`Unchanged _) -> Alcotest.fail "force did not swap"
+                   | Error e -> Alcotest.fail e);
+                  Thread.delay 0.002
+                done);
+            Array.iter Thread.join threads;
+            Array.iter
+              (function
+                | None -> ()
+                | Some e -> Alcotest.fail ("client thread: " ^ e))
+              errors;
+            Alcotest.(check bool) "at least one live swap" true (!reloads > 0);
+            Alcotest.(check int) "version tracked every swap" (1 + !reloads)
+              (Registry.status entry).Registry.version));
+    Alcotest.test_case "METRICS serves live parseable counters" `Quick
+      (fun () ->
+        let flow, rows = pooled 45 ~rows:12 in
+        with_served flow (fun ~server ~registry:_ ~entry:_ ~path:_ ->
+            with_client ~server (fun c ->
+                let (_ : Floor.outcome array) =
+                  get (Client.bin_batch c ~flow:"dut" rows)
+                in
+                (* the text form round-trips through the stc-metrics-1
+                   parser *)
+                let text = get (Client.metrics c ()) in
+                let flat = get (Obs.parse_text text) in
+                let value name =
+                  match List.assoc_opt name flat with
+                  | Some v -> v
+                  | None -> Alcotest.fail ("missing metric " ^ name)
+                in
+                Alcotest.(check bool) "requests counted" true
+                  (value "stc_net_requests_total" >= 1.0);
+                Alcotest.(check bool) "rows counted" true
+                  (value "stc_net_rows_total" >= float_of_int (Array.length rows));
+                Alcotest.(check bool) "batches counted" true
+                  (value "stc_net_batches_total" >= 1.0);
+                (* the JSON form parses with the Stc_obs JSON parser *)
+                let json = get (Client.metrics c ~format:Protocol.Json ()) in
+                match Json.of_string json with
+                | Error e -> Alcotest.fail ("metrics JSON: " ^ e)
+                | Ok doc -> (
+                  match Json.member "stc_net_requests_total" doc with
+                  | Some (Json.Num n) ->
+                    Alcotest.(check bool) "JSON requests counted" true (n >= 1.0)
+                  | _ ->
+                    Alcotest.fail
+                      "metrics JSON lacks stc_net_requests_total"))));
+    Alcotest.test_case "SHUTDOWN latches and wait stops the server" `Quick
+      (fun () ->
+        let flow, _ = pooled 46 ~rows:3 in
+        with_served flow (fun ~server ~registry:_ ~entry:_ ~path:_ ->
+            with_client ~server (fun c ->
+                (match Client.shutdown c with
+                 | Ok () -> ()
+                 | Error e -> Alcotest.fail e);
+                Alcotest.(check bool) "latched" true
+                  (Server.shutdown_requested server));
+            Server.wait ~poll_s:0.01 server;
+            Alcotest.(check bool) "stopped" false (Server.running server)));
+    Alcotest.test_case "INFO, FLOWS and STATS describe the route" `Quick
+      (fun () ->
+        let flow, rows = pooled 47 ~rows:5 in
+        with_served flow (fun ~server ~registry:_ ~entry:_ ~path:_ ->
+            with_client ~server (fun c ->
+                let (_ : Floor.outcome array) =
+                  get (Client.bin_batch c ~flow:"dut" rows)
+                in
+                let lines = get (Client.flows c) in
+                Alcotest.(check int) "one flow" 1 (List.length lines);
+                Alcotest.(check bool) "names the route" true
+                  (String.length (List.hd lines) > 5);
+                let info = get (Client.info c ~flow:"dut") in
+                Alcotest.(check bool) "info has fingerprint" true
+                  (String.length info > 0);
+                let stats = get (Client.stats c ~flow:"dut") in
+                Alcotest.(check bool) "stats counted the devices" true
+                  (String.length stats > 0);
+                match Client.info c ~flow:"ghost" with
+                | Error _ -> ()
+                | Ok _ -> Alcotest.fail "INFO on a ghost flow succeeded")));
+  ]
+
+let suites =
+  [
+    ("net protocol", protocol_tests);
+    ("net registry", registry_tests);
+    ("net server", server_tests);
+  ]

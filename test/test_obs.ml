@@ -354,6 +354,175 @@ let json_tests =
         Alcotest.(check string) "same tokens"
           (strip (Json.to_string ~indent:false doc))
           (strip (Json.to_string ~indent:true doc)));
+    Alcotest.test_case "of_string inverts to_string" `Quick (fun () ->
+        let doc =
+          Json.Obj
+            [
+              ("name", Json.Str "x\"y\\z\n\t\x02");
+              ("unicode", Json.Str "\xc3\xa9\xe2\x82\xac");
+              ( "xs",
+                Json.List
+                  [
+                    Json.Num 1.5;
+                    Json.Num (-0.25);
+                    Json.Num 1e-300;
+                    Json.Bool true;
+                    Json.Bool false;
+                    Json.Null;
+                  ] );
+              ("empty_list", Json.List []);
+              ("empty_obj", Json.Obj []);
+              ("nested", Json.Obj [ ("deep", Json.List [ Json.Obj [] ]) ]);
+            ]
+        in
+        List.iter
+          (fun indent ->
+            match Json.of_string (Json.to_string ~indent doc) with
+            | Ok back ->
+              Alcotest.(check string)
+                (Printf.sprintf "round trip (indent %b)" indent)
+                (Json.to_string doc) (Json.to_string back)
+            | Error e -> Alcotest.fail e)
+          [ false; true ]);
+    Alcotest.test_case "of_string accepts standard JSON forms" `Quick
+      (fun () ->
+        List.iter
+          (fun (text, expected) ->
+            match Json.of_string text with
+            | Ok doc ->
+              Alcotest.(check string)
+                text expected
+                (Json.to_string ~indent:false doc)
+            | Error e -> Alcotest.fail (text ^ ": " ^ e))
+          [
+            ("  null  ", "null");
+            ("-1.25e2", "-125");
+            ("\"\\u00e9\\u20ac\"", "\"\xc3\xa9\xe2\x82\xac\"");
+            ("\"\\ud83d\\ude00\"", "\"\xf0\x9f\x98\x80\"");
+            ("[1,2,[3]]", "[1,2,[3]]");
+            ("{\"a\": {\"b\": []}}", "{\"a\":{\"b\":[]}}");
+          ]);
+    Alcotest.test_case "of_string rejects malformed documents" `Quick
+      (fun () ->
+        List.iter
+          (fun text ->
+            match Json.of_string text with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail (Printf.sprintf "%S parsed" text))
+          [
+            "";
+            "nul";
+            "{";
+            "[1,]";
+            "{\"a\":}";
+            "{\"a\" 1}";
+            "\"unterminated";
+            "\"bad \\q escape\"";
+            "01";
+            "1 2";
+            "[1] trailing";
+            "\"\\ud83d\"";
+            "nan";
+          ]);
+    Alcotest.test_case "member looks up object fields" `Quick (fun () ->
+        let doc = Json.Obj [ ("a", Json.Num 1.0); ("b", Json.Null) ] in
+        Alcotest.(check bool) "hit" true (Json.member "a" doc = Some (Json.Num 1.0));
+        Alcotest.(check bool) "miss" true (Json.member "c" doc = None);
+        Alcotest.(check bool) "non-object" true
+          (Json.member "a" (Json.List []) = None));
+    Alcotest.test_case "registry JSON export parses with of_string" `Quick
+      (fun () ->
+        let r = Obs.create () in
+        let c = Obs.counter ~registry:r "stc_test_json_total" in
+        Obs.Counter.add c 7;
+        let h = Obs.histogram ~registry:r "stc_test_json_s" in
+        Obs.Histogram.observe h 0.004;
+        match Json.of_string (Obs.to_json ~registry:r ()) with
+        | Error e -> Alcotest.fail e
+        | Ok doc ->
+          (match Json.member "stc_test_json_total" doc with
+           | Some (Json.Num v) -> Alcotest.(check (float 0.0)) "counter" 7.0 v
+           | _ -> Alcotest.fail "counter missing from JSON export");
+          (match Json.member "stc_test_json_s" doc with
+           | Some (Json.Obj _ as h) -> (
+             match Json.member "count" h with
+             | Some (Json.Num c) ->
+               Alcotest.(check (float 0.0)) "histogram count" 1.0 c
+             | _ -> Alcotest.fail "histogram lacks a count")
+           | _ -> Alcotest.fail "histogram missing from JSON export"));
+  ]
+
+(* A writer storm against a concurrent exporter: every export must be a
+   parseable snapshot, and the final counts must be exact — the lock-free
+   registry never tears or drops an increment. *)
+let concurrency_tests =
+  [
+    Alcotest.test_case "export while incrementing stays consistent" `Quick
+      (fun () ->
+        let r = Obs.create () in
+        let c = Obs.counter ~registry:r "stc_storm_total" in
+        let g = Obs.gauge ~registry:r "stc_storm_level" in
+        let writers = 4 in
+        let per_writer = 5000 in
+        let stop = Atomic.make false in
+        let exports = ref 0 in
+        let export_errors = ref [] in
+        let exporter =
+          Thread.create
+            (fun () ->
+              while not (Atomic.get stop) do
+                (match Obs.parse_text (Obs.to_text ~registry:r ()) with
+                 | Ok flat ->
+                   incr exports;
+                   (match List.assoc_opt "stc_storm_total" flat with
+                    | Some v ->
+                      if
+                        v < 0.0
+                        || v > float_of_int (writers * per_writer)
+                        || Float.rem v 1.0 <> 0.0
+                      then
+                        export_errors :=
+                          Printf.sprintf "torn counter value %g" v
+                          :: !export_errors
+                    | None ->
+                      export_errors := "counter missing" :: !export_errors)
+                 | Error e -> export_errors := e :: !export_errors);
+                Thread.yield ()
+              done)
+            ()
+        in
+        let ts =
+          List.init writers (fun k ->
+              Thread.create
+                (fun () ->
+                  for i = 1 to per_writer do
+                    Obs.Counter.incr c;
+                    if i mod 64 = 0 then begin
+                      Obs.Gauge.set g (float_of_int (k + i));
+                      (* hand the runtime lock over so the exporter
+                         really interleaves with the storm *)
+                      Thread.yield ()
+                    end
+                  done)
+                ())
+        in
+        List.iter Thread.join ts;
+        (* never stop before the exporter has taken at least one
+           snapshot, or the race assertion below is vacuous *)
+        let spins = ref 0 in
+        while !exports = 0 && !spins < 10_000 do
+          incr spins;
+          Thread.delay 0.001
+        done;
+        Atomic.set stop true;
+        Thread.join exporter;
+        (match !export_errors with
+         | [] -> ()
+         | e :: _ -> Alcotest.fail e);
+        Alcotest.(check bool) "exporter actually raced the writers" true
+          (!exports > 0);
+        Alcotest.(check int) "no increment lost" (writers * per_writer)
+          (Obs.Counter.get c));
   ]
 
 let suites =
@@ -363,4 +532,5 @@ let suites =
     ("obs registry", registry_tests);
     ("obs tracer", trace_tests);
     ("obs json", json_tests);
+    ("obs concurrency", concurrency_tests);
   ]

@@ -497,6 +497,42 @@ let retry_tests =
               (Retry.run ~sleep:ignore
                  { Retry.default_policy with Retry.attempts = 0 }
                  (fun () -> ()))));
+    Alcotest.test_case "schedule is a pure function of the seed" `Quick
+      (fun () ->
+        (* two engines with the same policy must sleep the exact same
+           schedule; a different seed must jitter differently somewhere *)
+        let schedule seed =
+          let slept = ref [] in
+          let p =
+            {
+              Retry.default_policy with
+              Retry.attempts = 6;
+              base_delay_s = 0.01;
+              max_delay_s = 10.0;
+              jitter = 0.9;
+              seed;
+            }
+          in
+          let (_ : (unit, exn) result * int) =
+            Retry.run
+              ~sleep:(fun d -> slept := d :: !slept)
+              p
+              (fun () -> raise Transient_glitch)
+          in
+          List.rev !slept
+        in
+        Alcotest.(check (list (float 0.0))) "same seed, same schedule"
+          (schedule 17) (schedule 17);
+        Alcotest.(check int) "five sleeps for six attempts" 5
+          (List.length (schedule 17));
+        Alcotest.(check bool) "different seeds jitter apart" true
+          (schedule 17 <> schedule 18);
+        (* and delay_s itself is pure: repeated queries never advance
+           hidden state *)
+        let p = { Retry.default_policy with Retry.seed = 17; jitter = 0.9 } in
+        let first = List.init 5 (fun i -> Retry.delay_s p ~retry:(i + 1)) in
+        let second = List.init 5 (fun i -> Retry.delay_s p ~retry:(i + 1)) in
+        Alcotest.(check (list (float 0.0))) "delay_s is pure" first second);
   ]
 
 (* -------------------------- floor resilience ---------------------- *)
