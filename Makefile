@@ -5,7 +5,7 @@
 # replay the same stream.
 QA_SEED ?= 2005
 
-.PHONY: all build check test bench bench-json golden examples qa serve-smoke ci clean
+.PHONY: all build check test bench bench-json golden examples qa equiv serve-smoke ci clean
 
 all: build
 
@@ -37,6 +37,14 @@ qa:
 	QCHECK_SEED=$(QA_SEED) dune runtest
 	dune exec bin/stc_cli.exe -- selftest --seed $(QA_SEED) --quiet
 
+# The SMO warm-start / flat-storage equivalence gate (test_svm_equiv.ml):
+# warm-started solves reach the cold optimum and warm-started compaction
+# emits bit-identical stc-flow-1 bytes. Run by name so that if the suite
+# is ever deregistered, the empty filter makes alcotest exit nonzero —
+# CI cannot silently skip it.
+equiv:
+	dune exec test/test_main.exe -- test svm_equiv
+
 # End-to-end network serving smoke: a loopback server on an ephemeral
 # port, 100 devices from two concurrent clients (BATCH and pipelined
 # BIN paths), a hot reload under the traffic, METRICS in both formats
@@ -46,12 +54,14 @@ serve-smoke:
 	dune exec test/serve_smoke.exe
 
 # Everything the CI workflow runs: build, tier-1 tests, the QA sweep
-# (qcheck properties + `stc selftest`) under the pinned seed, then the
-# network serving smoke.
+# (qcheck properties + `stc selftest`) under the pinned seed, the SMO
+# equivalence gate (fails if the suite is skipped), then the network
+# serving smoke.
 ci:
 	dune build @all
 	dune runtest
 	$(MAKE) qa
+	$(MAKE) equiv
 	$(MAKE) serve-smoke
 
 examples:

@@ -701,6 +701,118 @@ let ablation_process_model () =
        (rows_corr @ [ row_defect ]))
 
 (* ------------------------------------------------------------------ *)
+(* SMO hot path: warm starts + flat kernels + parallel CV              *)
+(* ------------------------------------------------------------------ *)
+
+let svm_hotpath () =
+  section
+    "SVM hot path: warm-started, flat-storage SMO (cold vs warm) and \
+     parallel cross-validation";
+  let train, test = Lazy.force opamp_data in
+  let order = Order.Given Experiment.opamp_examination_order in
+  let c_iter = Obs.counter "stc_smo_iterations_total" in
+  let c_kev = Obs.counter "stc_svm_kernel_evals_total" in
+  let c_warm = Obs.counter "stc_smo_warm_starts_total" in
+  let h_train = Obs.histogram "stc_compaction_train_s" in
+  (* the same reduced-scale greedy compaction as [greedy_opamp], run
+     cold then warm; SMO train time is the per-candidate training
+     histogram, so validation and final-flow cost is excluded *)
+  let run warm_start =
+    let config = { Experiment.opamp_config with Compaction.warm_start } in
+    let t0 = Obs.Histogram.sum h_train in
+    let i0 = Obs.Counter.get c_iter and k0 = Obs.Counter.get c_kev in
+    let w0 = Unix.gettimeofday () in
+    let r = Compaction.greedy ~order config ~train ~test in
+    let wall = Unix.gettimeofday () -. w0 in
+    ( r,
+      wall,
+      Obs.Histogram.sum h_train -. t0,
+      Obs.Counter.get c_iter - i0,
+      Obs.Counter.get c_kev - k0 )
+  in
+  let cold_r, cold_wall, cold_train, cold_iter, cold_kev = run false in
+  let warm0 = Obs.Counter.get c_warm in
+  let warm_r, warm_wall, warm_train, warm_iter, warm_kev = run true in
+  let warm_starts = Obs.Counter.get c_warm - warm0 in
+  let flows_identical =
+    Stc_floor.Flow_io.to_string cold_r.Compaction.flow
+    = Stc_floor.Flow_io.to_string warm_r.Compaction.flow
+  in
+  let rate evals s = float_of_int evals /. Stdlib.max 1e-9 s in
+  print_string
+    (Report.table
+       ~header:
+         [ "greedy run"; "SMO train"; "wall"; "iterations"; "kernel evals/s" ]
+       [
+         [
+           "cold (warm_start=false)";
+           Printf.sprintf "%.2f s" cold_train;
+           Printf.sprintf "%.2f s" cold_wall;
+           string_of_int cold_iter;
+           Printf.sprintf "%.2fM" (rate cold_kev cold_train /. 1e6);
+         ];
+         [
+           "warm (warm_start=true)";
+           Printf.sprintf "%.2f s" warm_train;
+           Printf.sprintf "%.2f s" warm_wall;
+           string_of_int warm_iter;
+           Printf.sprintf "%.2fM" (rate warm_kev warm_train /. 1e6);
+         ];
+       ]);
+  Printf.printf
+    "SMO train %.2fx faster warm; %d iterations saved across %d warm \
+     starts; flows bit-identical: %b\n"
+    (cold_train /. Stdlib.max 1e-9 warm_train)
+    (cold_iter - warm_iter) warm_starts flows_identical;
+  (* parallel grid search on a pool, against the serial path *)
+  let dropped = [| 3; 7 |] in
+  let kept = [| 0; 1; 2; 4; 5; 6; 8; 9; 10 |] in
+  let n_cv = Stdlib.min 360 (Device_data.n_instances train) in
+  let x = Array.sub (Device_data.features train ~keep:kept) 0 n_cv in
+  let y = Array.sub (Device_data.pass_labels train ~subset:dropped) 0 n_cv in
+  let cs = [| 1.0; 10.0 |] and gammas = [| 0.5; 2.0 |] in
+  let grid rng_seed pool =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Stc_svm.Cross_val.grid_search_svc ?pool (Rng.create rng_seed) ~x ~y
+        ~folds:3 ~cs ~gammas
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let serial, t_serial = grid 17 None in
+  let domains = Stdlib.min 4 (Domain.recommended_domain_count ()) in
+  let parallel, t_parallel =
+    Stc_process.Pool.with_pool ~domains (fun pool -> grid 17 (Some pool))
+  in
+  let cv_identical =
+    serial.Stc_svm.Cross_val.c = parallel.Stc_svm.Cross_val.c
+    && serial.Stc_svm.Cross_val.gamma = parallel.Stc_svm.Cross_val.gamma
+    && Int64.equal
+         (Int64.bits_of_float serial.Stc_svm.Cross_val.accuracy)
+         (Int64.bits_of_float parallel.Stc_svm.Cross_val.accuracy)
+  in
+  Printf.printf
+    "grid search (%d points x 3 folds, %d rows): serial %.3f s, %d domains \
+     %.3f s (%.2fx); winners bit-identical: %b\n"
+    (Array.length cs * Array.length gammas)
+    n_cv t_serial domains t_parallel
+    (t_serial /. Stdlib.max 1e-9 t_parallel)
+    cv_identical;
+  (* headline numbers for BENCH_svm.json *)
+  let g name v = Obs.Gauge.set (Obs.gauge name) v in
+  g "stc_bench_smo_train_cold_s" cold_train;
+  g "stc_bench_smo_train_warm_s" warm_train;
+  g "stc_bench_smo_train_speedup"
+    (cold_train /. Stdlib.max 1e-9 warm_train);
+  g "stc_bench_smo_iterations_saved" (float_of_int (cold_iter - warm_iter));
+  g "stc_bench_kernel_evals_per_s_cold" (rate cold_kev cold_train);
+  g "stc_bench_kernel_evals_per_s_warm" (rate warm_kev warm_train);
+  g "stc_bench_flows_bit_identical" (if flows_identical then 1.0 else 0.0);
+  g "stc_bench_cv_serial_s" t_serial;
+  g "stc_bench_cv_parallel_s" t_parallel;
+  g "stc_bench_cv_bit_identical" (if cv_identical then 1.0 else 0.0)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1112,6 +1224,7 @@ let () =
   c ~name:"greedy_opamp" ~params:opamp_params greedy_opamp;
   c ~name:"figure6_training_size" ~params:opamp_params figure6;
   c ~name:"ablation_ordering" ~params:opamp_params ablation_ordering;
+  s ~name:"svm_hotpath" ~params:opamp_params svm_hotpath;
   s ~name:"ablation_learner" ~params:opamp_params ablation_learner;
   s ~name:"ablation_regression_baseline" ~params:opamp_params ablation_regression;
   f ~name:"floor_serving" ~params:opamp_params floor_serving;

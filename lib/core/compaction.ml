@@ -31,6 +31,7 @@ type config = {
   grid : Grid_compact.config option;
   measured_guard : bool;
   validation : validation;
+  warm_start : bool;
 }
 
 let default_config =
@@ -41,6 +42,7 @@ let default_config =
     grid = None;
     measured_guard = true;
     validation = On_test_data;
+    warm_start = true;
   }
 
 type flow = {
@@ -82,7 +84,7 @@ let resolve_gamma gamma features =
 (* Train one ±1 classifier on (features, labels), returned with its
    model data so flows can be serialised. Degenerate one-class inputs
    yield a constant predictor. *)
-let train_classifier learner features labels =
+let train_classifier ?warm learner features labels =
   let n = Array.length labels in
   assert (n > 0);
   let all_same =
@@ -95,8 +97,11 @@ let train_classifier learner features labels =
     | Epsilon_svr { c; epsilon; gamma } ->
       let kernel = Kernel.rbf (resolve_gamma gamma features) in
       let y = Array.map float_of_int labels in
-      Guard_band.Svr (Svr.train ~c ~epsilon ~kernel ~x:features ~y ())
+      Guard_band.Svr (Svr.train ~c ~epsilon ~kernel ?warm ~x:features ~y ())
     | C_svc { c; gamma } ->
+      (* no warm start for C-SVC: the labels enter the dual's equality
+         constraint, so a previous solution is not feasible for the
+         next candidate's problem *)
       let kernel = Kernel.rbf (resolve_gamma gamma features) in
       Guard_band.Svc (Svc.train ~c ~kernel ~x:features ~y:labels ())
   end
@@ -319,6 +324,22 @@ let greedy_resumable ?(order = Order.By_failure_count) ?(eval_each = false)
     | Error e ->
       failwith (Printf.sprintf "Compaction.greedy_resumable: %s: %s" what e)
   in
+  (* Warm-start state for the per-candidate nominal solves only:
+     successive candidates share most of their feature set, so SMO is
+     seeded from the last *accepted* model's alphas (a rejected
+     candidate's state is rolled back below — its problem differs from
+     every later candidate's by two label flips instead of one). The
+     final flow's models ([make_flow] below, and every guard-band
+     pair) always train cold, so the persisted flow bytes depend only
+     on the accept/reject decisions — which the equivalence suite pins
+     to be warm/cold-identical. *)
+  let warm =
+    if config.warm_start then
+      match config.learner with
+      | Epsilon_svr _ -> Some (Svr.warm_state ())
+      | C_svc _ -> None
+    else None
+  in
   let dropped = ref [] in
   let steps = ref [] in
   Array.iteri
@@ -342,6 +363,7 @@ let greedy_resumable ?(order = Order.By_failure_count) ?(eval_each = false)
             (fun () ->
               let trial = Array.of_list (List.rev (candidate :: !dropped)) in
               let kept = complement ~k trial in
+              let warm_before = Option.map Svr.warm_checkpoint warm in
               let nominal =
                 Trace.with_span "compaction.train" (fun () ->
                     Obs.Histogram.time h_train (fun () ->
@@ -353,7 +375,8 @@ let greedy_resumable ?(order = Order.By_failure_count) ?(eval_each = false)
                           maybe_grid config features labels
                         in
                         let model =
-                          train_classifier config.learner features' labels'
+                          train_classifier ?warm config.learner features'
+                            labels'
                         in
                         Guard_band.predict model))
               in
@@ -369,6 +392,11 @@ let greedy_resumable ?(order = Order.By_failure_count) ?(eval_each = false)
                           ~dropped:trial))
               in
               let accepted = error <= config.tolerance in
+              (* rejected candidates don't advance the warm state *)
+              if not accepted then
+                (match (warm, warm_before) with
+                | Some w, Some s -> Svr.warm_rollback w s
+                | _ -> ());
               Obs.Counter.incr m_candidates;
               Obs.Counter.incr (if accepted then m_accepted else m_rejected);
               Obs.Gauge.set g_last_error error;

@@ -30,11 +30,21 @@ type config = {
       (** also guard-band devices whose *measured* kept specs fall
           within δ of a range boundary *)
   validation : validation;
+  warm_start : bool;
+      (** seed each candidate's SMO solve from the previous
+          candidate's alphas (ε-SVR only; C-SVC always starts cold
+          because labels enter the dual's equality constraint). An
+          execution strategy, not a semantic knob: the final flow and
+          all guard-band models always train cold, decisions are
+          pinned warm/cold-identical by the equivalence suite, and the
+          journal fingerprint deliberately ignores it — a warm run may
+          resume a cold journal and vice versa. *)
 }
 
 val default_config : config
 (** ε-SVR (C=10, ε=0.1, γ=1/dim), e_T = 1 %, δ = 1 %, no grid
-    compaction, measured guard on, paper validation protocol. *)
+    compaction, measured guard on, paper validation protocol, warm
+    starts enabled. *)
 
 type flow = {
   specs : Spec.t array;

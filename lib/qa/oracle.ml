@@ -185,6 +185,45 @@ let kernel_ref k x y =
     !acc
   | Kernel.Sigmoid { gamma; coef0 } -> tanh ((gamma *. dot_ref x y) +. coef0)
 
+(* Differential oracle for the flat-storage kernel path: every kernel
+   value computed over contiguous [Flat] storage must be bit-for-bit
+   the value the boxed [Kernel.eval] path computes — compared on the
+   IEEE bit pattern, not with a tolerance. *)
+let flat_kernel_agrees kernels rows =
+  let bits = Int64.bits_of_float in
+  let fx = Stc_svm.Flat.of_rows rows in
+  let n = Array.length rows in
+  let mismatch what k i j boxed flat =
+    errorf "flat kernel %s: %s rows (%d,%d): boxed %.17g flat %.17g" what
+      (Format.asprintf "%a" Kernel.pp k)
+      i j boxed flat
+  in
+  List.fold_left
+    (fun acc k ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () ->
+        let pairwise = ref (Ok ()) in
+        (try
+           for i = 0 to n - 1 do
+             for j = 0 to n - 1 do
+               let boxed = Kernel.eval k rows.(i) rows.(j) in
+               let flat = Kernel.eval_rows k fx i j in
+               if bits boxed <> bits flat then begin
+                 pairwise := mismatch "eval_rows" k i j boxed flat;
+                 raise Exit
+               end;
+               let vec = Kernel.eval_row_vec k fx i rows.(j) in
+               if bits boxed <> bits vec then begin
+                 pairwise := mismatch "eval_row_vec" k i j boxed vec;
+                 raise Exit
+               end
+             done
+           done
+         with Exit -> ());
+        !pairwise)
+    (Ok ()) kernels
+
 let raw_decision ~kernel ~sv ~coef ~b x =
   let acc = ref b in
   Array.iteri (fun i s -> acc := !acc +. (coef.(i) *. kernel_ref kernel s x)) sv;

@@ -101,6 +101,28 @@ let run ?(seed = 2005) ?(flows = 1000) ?(rows_per_flow = 16)
          Oracle.svc_roundtrips svc));
 
   push
+    (section ~name:"svm: flat kernel" ~cases:(Stdlib.max 25 (flows / 8))
+       (fun _ ->
+         let dim = 1 + Rng.int rng 6 in
+         let n = 2 + Rng.int rng 24 in
+         let rows =
+           Array.init n (fun _ ->
+               Array.init dim (fun _ -> Rng.uniform rng (-3.0) 3.0))
+         in
+         let gamma = Rng.uniform rng 0.05 2.0 in
+         let coef0 = Rng.uniform rng (-1.0) 1.0 in
+         let kernels =
+           [
+             Stc_svm.Kernel.linear;
+             Stc_svm.Kernel.rbf gamma;
+             Stc_svm.Kernel.Polynomial
+               { gamma; coef0; degree = 2 + Rng.int rng 3 };
+             Stc_svm.Kernel.Sigmoid { gamma; coef0 };
+           ]
+         in
+         Oracle.flat_kernel_agrees kernels rows));
+
+  push
     (section ~name:"smo dual feasibility" ~cases:12 (fun _ ->
          let dim = 1 + Rng.int rng 3 in
          let c_svc, svc = Gen.trained_svc ~dim ~n:40 st in

@@ -1,4 +1,5 @@
 module Rng = Stc_numerics.Rng
+module Pool = Stc_process.Pool
 
 let kfold_indices rng ~n ~folds =
   if folds < 2 || folds > n then invalid_arg "Cross_val.kfold_indices: bad folds";
@@ -21,26 +22,43 @@ let split_fold x y fold_idx n =
   done;
   (Array.of_list !train_x, Array.of_list !train_y)
 
-let mean_over_folds rng ~n ~folds evaluate =
+(* Parallel-determinism scheme: fold assignments are drawn from the rng
+   up front (exactly the draws the serial path makes), each (fold)
+   task is a pure function of its index writing into a private slot,
+   and aggregation happens serially in fold order afterwards. Work
+   stealing may run folds in any order on any domain; the summation
+   sequence — hence every bit of the result — is unchanged. *)
+let fold_scores ?pool rng ~n ~folds evaluate =
   let assignments = kfold_indices rng ~n ~folds in
-  let total = Array.fold_left (fun acc f -> acc +. evaluate f) 0.0 assignments in
-  total /. float_of_int folds
+  let scores = Array.make folds 0.0 in
+  (match pool with
+  | Some pool -> Pool.run pool ~n:folds (fun f -> scores.(f) <- evaluate assignments.(f))
+  | None -> Array.iteri (fun f idx -> scores.(f) <- evaluate idx) assignments);
+  scores
 
-let svc_accuracy ?c ?kernel rng ~x ~y ~folds =
-  let n = Array.length x in
-  let evaluate fold_idx =
-    let train_x, train_y = split_fold x y fold_idx n in
-    let model = Svc.train ?c ?kernel ~x:train_x ~y:train_y () in
-    let correct =
-      Array.fold_left
-        (fun acc i -> if Svc.predict model x.(i) = y.(i) then acc + 1 else acc)
-        0 fold_idx
-    in
-    float_of_int correct /. float_of_int (Array.length fold_idx)
+let mean_over_folds ?pool rng ~n ~folds evaluate =
+  let scores = fold_scores ?pool rng ~n ~folds evaluate in
+  Array.fold_left ( +. ) 0.0 scores /. float_of_int folds
+
+let svc_evaluate ?c ?kernel ~x ~y ~n fold_idx =
+  let train_x, train_y = split_fold x y fold_idx n in
+  let model = Svc.train ?c ?kernel ~x:train_x ~y:train_y () in
+  let correct =
+    Array.fold_left
+      (fun acc i -> if Svc.predict model x.(i) = y.(i) then acc + 1 else acc)
+      0 fold_idx
   in
-  mean_over_folds rng ~n ~folds evaluate
+  float_of_int correct /. float_of_int (Array.length fold_idx)
 
-let svr_sign_accuracy ?c ?epsilon ?kernel rng ~x ~y ~folds =
+let svc_accuracy ?c ?kernel ?pool rng ~x ~y ~folds =
+  let n = Array.length x in
+  mean_over_folds ?pool rng ~n ~folds (svc_evaluate ?c ?kernel ~x ~y ~n)
+
+let svc_fold_scores ?c ?kernel ?pool rng ~x ~y ~folds =
+  let n = Array.length x in
+  fold_scores ?pool rng ~n ~folds (svc_evaluate ?c ?kernel ~x ~y ~n)
+
+let svr_sign_accuracy ?c ?epsilon ?kernel ?pool rng ~x ~y ~folds =
   let n = Array.length x in
   let evaluate fold_idx =
     let train_x, train_y = split_fold x y fold_idx n in
@@ -54,28 +72,51 @@ let svr_sign_accuracy ?c ?epsilon ?kernel rng ~x ~y ~folds =
     in
     float_of_int correct /. float_of_int (Array.length fold_idx)
   in
-  mean_over_folds rng ~n ~folds evaluate
+  mean_over_folds ?pool rng ~n ~folds evaluate
 
 type grid_result = { c : float; gamma : float; accuracy : float }
 
-let grid_search_svc rng ~x ~y ~folds ~cs ~gammas =
+let grid_search_svc ?pool rng ~x ~y ~folds ~cs ~gammas =
   if Array.length cs = 0 || Array.length gammas = 0 then
     invalid_arg "Cross_val.grid_search_svc: empty grid";
+  let n = Array.length x in
+  (* The serial path copies the rng per grid point, so every point sees
+     identical fold assignments; drawing them once from a copy is the
+     same thing, and leaves the caller's rng untouched as before. *)
+  let assignments = kfold_indices (Rng.copy rng) ~n ~folds in
+  let points =
+    Array.concat
+      (Array.to_list
+         (Array.map (fun c -> Array.map (fun gamma -> (c, gamma)) gammas) cs))
+  in
+  let np = Array.length points in
+  let accs = Array.make (np * folds) 0.0 in
+  let evaluate t =
+    let c, gamma = points.(t / folds) in
+    accs.(t) <-
+      svc_evaluate ~c ~kernel:(Kernel.rbf gamma) ~x ~y ~n
+        assignments.(t mod folds)
+  in
+  (match pool with
+  | Some pool -> Pool.run pool ~n:(np * folds) evaluate
+  | None ->
+    for t = 0 to (np * folds) - 1 do
+      evaluate t
+    done);
+  (* aggregate in the serial scan order: fold sum left to right, ties
+     keep the first point — bit-identical to the sequential search *)
   let best = ref None in
-  Array.iter
-    (fun c ->
-      Array.iter
-        (fun gamma ->
-          (* copy the rng so every grid point sees identical folds *)
-          let rng' = Rng.copy rng in
-          let accuracy =
-            svc_accuracy ~c ~kernel:(Kernel.rbf gamma) rng' ~x ~y ~folds
-          in
-          match !best with
-          | Some b when b.accuracy >= accuracy -> ()
-          | Some _ | None -> best := Some { c; gamma; accuracy })
-        gammas)
-    cs;
+  Array.iteri
+    (fun p (c, gamma) ->
+      let total = ref 0.0 in
+      for f = 0 to folds - 1 do
+        total := !total +. accs.((p * folds) + f)
+      done;
+      let accuracy = !total /. float_of_int folds in
+      match !best with
+      | Some b when b.accuracy >= accuracy -> ()
+      | Some _ | None -> best := Some { c; gamma; accuracy })
+    points;
   match !best with
   | Some b -> b
   | None -> assert false

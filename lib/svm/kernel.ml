@@ -18,6 +18,22 @@ let eval k x y =
   | Rbf { gamma } -> exp (-.gamma *. Vec.dist2 x y)
   | Sigmoid { gamma; coef0 } -> tanh ((gamma *. Vec.dot x y) +. coef0)
 
+let eval_rows k rows i j =
+  match k with
+  | Linear -> Flat.dot rows i j
+  | Polynomial { gamma; coef0; degree } ->
+    ((gamma *. Flat.dot rows i j) +. coef0) ** float_of_int degree
+  | Rbf { gamma } -> exp (-.gamma *. Flat.dist2 rows i j)
+  | Sigmoid { gamma; coef0 } -> tanh ((gamma *. Flat.dot rows i j) +. coef0)
+
+let eval_row_vec k rows i v =
+  match k with
+  | Linear -> Flat.dot_vec rows i v
+  | Polynomial { gamma; coef0; degree } ->
+    ((gamma *. Flat.dot_vec rows i v) +. coef0) ** float_of_int degree
+  | Rbf { gamma } -> exp (-.gamma *. Flat.dist2_vec rows i v)
+  | Sigmoid { gamma; coef0 } -> tanh ((gamma *. Flat.dot_vec rows i v) +. coef0)
+
 let default_gamma ~dim =
   if dim <= 0 then invalid_arg "Kernel.default_gamma: dim must be positive";
   1.0 /. float_of_int dim

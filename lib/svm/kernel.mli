@@ -13,6 +13,16 @@ val linear : t
 val eval : t -> float array -> float array -> float
 (** [eval k x y] computes K(x, y). *)
 
+val eval_rows : t -> Flat.t -> int -> int -> float
+(** [eval_rows k rows i j] computes K(rowsᵢ, rowsⱼ) over contiguous
+    {!Flat} storage, bit-identical to [eval] on the boxed rows (the
+    flat primitives accumulate in the same order as [Vec.dot]/
+    [Vec.dist2]). This is the SMO hot-path entry point. *)
+
+val eval_row_vec : t -> Flat.t -> int -> float array -> float
+(** [eval_row_vec k rows i v] computes K(rowsᵢ, v), bit-identical to
+    [eval rows.(i) v]. *)
+
 val default_gamma : dim:int -> float
 (** libsvm's default 1/dim heuristic. *)
 

@@ -21,6 +21,7 @@ let tau = 1e-12
 
 let m_solves = Stc_obs.Registry.counter "stc_smo_solves_total"
 let m_iterations = Stc_obs.Registry.counter "stc_smo_iterations_total"
+let m_warm_starts = Stc_obs.Registry.counter "stc_smo_warm_starts_total"
 
 let solve ?(eps = 1e-3) ?max_iter ?alpha0 prob =
   let n = prob.size in
@@ -31,55 +32,88 @@ let solve ?(eps = 1e-3) ?max_iter ?alpha0 prob =
   let max_iter =
     match max_iter with Some m -> m | None -> Stdlib.max 10_000 (10 * n)
   in
+  let y = prob.y and c = prob.c and q_diag = prob.q_diag in
+  (* every row is scanned with unsafe accesses below, so the length is
+     checked once per fetch instead of once per element *)
+  let fetch_row i =
+    let r = prob.q_row i in
+    if Array.length r < n then
+      invalid_arg "Smo.solve: q_row shorter than the problem size";
+    r
+  in
   let alpha =
     match alpha0 with
     | Some a ->
       assert (Array.length a = n);
+      if Array.exists (fun ai -> ai <> 0.0) a then
+        Stc_obs.Registry.Counter.incr m_warm_starts;
       Array.copy a
     | None -> Array.make n 0.0
   in
   (* gradient G_i = (Qα)_i + p_i *)
   let grad = Array.copy prob.p in
   for i = 0 to n - 1 do
-    if alpha.(i) <> 0.0 then begin
-      let qi = prob.q_row i in
+    let ai = Array.unsafe_get alpha i in
+    if ai <> 0.0 then begin
+      let qi = fetch_row i in
       for t = 0 to n - 1 do
-        grad.(t) <- grad.(t) +. (alpha.(i) *. qi.(t))
+        Array.unsafe_set grad t
+          (Array.unsafe_get grad t +. (ai *. Array.unsafe_get qi t))
       done
     end
   done;
   let is_upper_bound i = alpha.(i) >= prob.c.(i) in
   let is_lower_bound i = alpha.(i) <= 0.0 in
-  (* working-set selection; returns None when the KKT conditions hold *)
-  let select_working_set () =
-    let gmax = ref Float.neg_infinity and gmax_idx = ref (-1) in
-    let gmax2 = ref Float.neg_infinity in
+  (* working-set selection; returns None when the KKT conditions hold.
+     The O(n) scans below are the hottest loops in the solver, so they
+     use unsafe accesses with loop-invariant loads hoisted, and the
+     first-order scan for i is fused into the gradient-update loop
+     (one pass instead of two) — the floating-point operation order,
+     comparisons and traversal order are exactly the separate-pass
+     ones, so the iterates (and every downstream model byte) are
+     unchanged. *)
+  let gmax = ref Float.neg_infinity and gmax_idx = ref (-1) in
+  let scan_max () =
+    gmax := Float.neg_infinity;
+    gmax_idx := -1;
     for t = 0 to n - 1 do
-      if prob.y.(t) = 1.0 then begin
-        if not (is_upper_bound t) && -.grad.(t) >= !gmax then begin
-          gmax := -.grad.(t);
+      let gt = Array.unsafe_get grad t in
+      if Array.unsafe_get y t = 1.0 then begin
+        if
+          Array.unsafe_get alpha t < Array.unsafe_get c t && -.gt >= !gmax
+        then begin
+          gmax := -.gt;
           gmax_idx := t
         end
       end
-      else if not (is_lower_bound t) && grad.(t) >= !gmax then begin
-        gmax := grad.(t);
+      else if Array.unsafe_get alpha t > 0.0 && gt >= !gmax then begin
+        gmax := gt;
         gmax_idx := t
       end
-    done;
+    done
+  in
+  (* second-order choice of j given the current (gmax, gmax_idx) *)
+  let select_working_set () =
     let i = !gmax_idx in
     if i < 0 then None
     else begin
-      let qi = prob.q_row i in
+      let qi = fetch_row i in
+      let gmax_v = !gmax in
+      let qd_i = Array.unsafe_get q_diag i in
+      let two_y_i = 2.0 *. Array.unsafe_get y i in
+      let gmax2 = ref Float.neg_infinity in
       let obj_min = ref Float.infinity and gmin_idx = ref (-1) in
       for t = 0 to n - 1 do
-        if prob.y.(t) = 1.0 then begin
-          if not (is_lower_bound t) then begin
-            let grad_diff = !gmax +. grad.(t) in
-            if grad.(t) >= !gmax2 then gmax2 := grad.(t);
+        let gt = Array.unsafe_get grad t in
+        if Array.unsafe_get y t = 1.0 then begin
+          if Array.unsafe_get alpha t > 0.0 then begin
+            let grad_diff = gmax_v +. gt in
+            if gt >= !gmax2 then gmax2 := gt;
             if grad_diff > 0.0 then begin
               let quad =
-                prob.q_diag.(i) +. prob.q_diag.(t)
-                -. (2.0 *. prob.y.(i) *. qi.(t))
+                qd_i
+                +. Array.unsafe_get q_diag t
+                -. (two_y_i *. Array.unsafe_get qi t)
               in
               let quad = if quad > 0.0 then quad else tau in
               let obj = -.(grad_diff *. grad_diff) /. quad in
@@ -90,13 +124,14 @@ let solve ?(eps = 1e-3) ?max_iter ?alpha0 prob =
             end
           end
         end
-        else if not (is_upper_bound t) then begin
-          let grad_diff = !gmax -. grad.(t) in
-          if -.grad.(t) >= !gmax2 then gmax2 := -.grad.(t);
+        else if Array.unsafe_get alpha t < Array.unsafe_get c t then begin
+          let grad_diff = gmax_v -. gt in
+          if -.gt >= !gmax2 then gmax2 := -.gt;
           if grad_diff > 0.0 then begin
             let quad =
-              prob.q_diag.(i) +. prob.q_diag.(t)
-              +. (2.0 *. prob.y.(i) *. qi.(t))
+              qd_i
+              +. Array.unsafe_get q_diag t
+              +. (two_y_i *. Array.unsafe_get qi t)
             in
             let quad = if quad > 0.0 then quad else tau in
             let obj = -.(grad_diff *. grad_diff) /. quad in
@@ -112,6 +147,7 @@ let solve ?(eps = 1e-3) ?max_iter ?alpha0 prob =
     end
   in
   let iterations = ref 0 in
+  scan_max ();
   let rec loop () =
     if !iterations >= max_iter then ()
     else
@@ -119,7 +155,7 @@ let solve ?(eps = 1e-3) ?max_iter ?alpha0 prob =
       | None -> ()
       | Some (i, j) ->
         incr iterations;
-        let qi = prob.q_row i and qj = prob.q_row j in
+        let qi = fetch_row i and qj = fetch_row j in
         let ci = prob.c.(i) and cj = prob.c.(j) in
         let old_ai = alpha.(i) and old_aj = alpha.(j) in
         if prob.y.(i) <> prob.y.(j) then begin
@@ -183,10 +219,35 @@ let solve ?(eps = 1e-3) ?max_iter ?alpha0 prob =
           end
         end;
         let dai = alpha.(i) -. old_ai and daj = alpha.(j) -. old_aj in
-        if dai <> 0.0 || daj <> 0.0 then
+        if dai <> 0.0 || daj <> 0.0 then begin
+          (* fused gradient update + first-order scan for the next i:
+             alphas are already final, so the bound tests below see
+             exactly what a separate [scan_max] pass would *)
+          gmax := Float.neg_infinity;
+          gmax_idx := -1;
           for t = 0 to n - 1 do
-            grad.(t) <- grad.(t) +. (qi.(t) *. dai) +. (qj.(t) *. daj)
-          done;
+            let gt =
+              Array.unsafe_get grad t
+              +. (Array.unsafe_get qi t *. dai)
+              +. (Array.unsafe_get qj t *. daj)
+            in
+            Array.unsafe_set grad t gt;
+            if Array.unsafe_get y t = 1.0 then begin
+              if
+                Array.unsafe_get alpha t < Array.unsafe_get c t
+                && -.gt >= !gmax
+              then begin
+                gmax := -.gt;
+                gmax_idx := t
+              end
+            end
+            else if Array.unsafe_get alpha t > 0.0 && gt >= !gmax then begin
+              gmax := gt;
+              gmax_idx := t
+            end
+          done
+        end
+        else scan_max ();
         loop ()
   in
   loop ();

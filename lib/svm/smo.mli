@@ -29,4 +29,5 @@ val solve : ?eps:float -> ?max_iter:int -> ?alpha0:float array -> problem -> sol
 (** [eps] is the KKT violation tolerance (default 1e-3, libsvm's);
     [max_iter] caps the outer loop (default 10·size, at least 10 000);
     [alpha0] must be feasible if supplied (default all-zeros, which is
-    feasible when Δ = 0). *)
+    feasible when Δ = 0). A nonzero [alpha0] counts toward the
+    [stc_smo_warm_starts_total] registry counter. *)

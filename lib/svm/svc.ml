@@ -33,17 +33,24 @@ let train ?(c = 1.0) ?kernel ?(eps = 1e-3) ~x ~y () =
     | None -> Kernel.rbf (Kernel.median_gamma x)
   in
   let yf = Array.map float_of_int y in
-  let raw_row i =
-    Obs.Counter.add m_kernel_evals l;
-    Array.init l (fun t -> yf.(i) *. yf.(t) *. Kernel.eval kernel x.(i) x.(t))
+  let fx = Flat.of_rows x in
+  let q i t = yf.(i) *. yf.(t) *. Kernel.eval_rows kernel fx i t in
+  let cache =
+    if l <= Row_cache.dense_limit then begin
+      Obs.Counter.add m_kernel_evals (l * (l + 1) / 2);
+      Row_cache.dense (Row_cache.fill_symmetric l q)
+    end
+    else
+      Row_cache.create ~size:l ~row_bytes:(8 * l) (fun i ->
+          Obs.Counter.add m_kernel_evals l;
+          Array.init l (fun t -> q i t))
   in
-  let cache = Row_cache.create ~size:l ~row_bytes:(8 * l) raw_row in
   Obs.Counter.add m_kernel_evals l (* the diagonal below *);
   let problem =
     {
       Smo.size = l;
       q_row = (fun i -> Row_cache.get cache i);
-      q_diag = Array.init l (fun i -> Kernel.eval kernel x.(i) x.(i));
+      q_diag = Array.init l (fun i -> Kernel.eval_rows kernel fx i i);
       p = Array.make l (-1.0);
       y = yf;
       c = Array.make l c;

@@ -15,4 +15,5 @@ let () =
      @ Test_extensions.suites
      @ Test_integration.suites
      @ Test_qa.suites @ Test_resilience.suites @ Test_net.suites
-     @ Test_obs.suites @ Test_units.suites @ Test_golden.suites)
+     @ Test_obs.suites @ Test_units.suites @ Test_svm_equiv.suites
+     @ Test_golden.suites)

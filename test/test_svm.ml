@@ -439,6 +439,174 @@ let smo_optimality_tests =
         done);
   ]
 
+module Flat = Stc_svm.Flat
+module Pool = Stc_process.Pool
+
+(* Table-driven pins for the gamma heuristics: the flat-storage refactor
+   must not shift them. [median_gamma] samples pairs deterministically
+   (offsets < 8 or multiples of n/64), so small inputs enumerate all
+   pairs and the medians below are hand-computable. *)
+let gamma_tests =
+  [
+    Alcotest.test_case "default gamma table" `Quick (fun () ->
+        List.iter
+          (fun (dim, expected) ->
+            check_close 0.0
+              (Printf.sprintf "1/%d" dim)
+              expected
+              (Kernel.default_gamma ~dim))
+          [ (1, 1.0); (2, 0.5); (4, 0.25); (8, 0.125); (10, 0.1) ]);
+    Alcotest.test_case "default gamma rejects non-positive dim" `Quick
+      (fun () ->
+        Alcotest.check_raises "dim 0"
+          (Invalid_argument "Kernel.default_gamma: dim must be positive")
+          (fun () -> ignore (Kernel.default_gamma ~dim:0)));
+    Alcotest.test_case "median gamma table" `Quick (fun () ->
+        List.iter
+          (fun (name, x, expected) ->
+            check_close 0.0 name expected (Kernel.median_gamma x))
+          [
+            (* two points, one distance: ‖0−2‖² = 4, median 4, γ = 1/4 *)
+            ("two points", [| [| 0.0 |]; [| 2.0 |] |], 0.25);
+            (* distances {1, 4, 9} listed by offset: median 4 → 1/4 *)
+            ("three points", [| [| 0.0 |]; [| 1.0 |]; [| 3.0 |] |], 0.25);
+            (* distances {1,1,1,4,4,9} sorted, index 3 → 4 → 1/4 *)
+            ( "four collinear",
+              [| [| 0.0 |]; [| 1.0 |]; [| 2.0 |]; [| 3.0 |] |],
+              0.25 );
+            (* zero-distance pair is excluded: remaining {4, 4} → 1/4 *)
+            ( "duplicate point excluded",
+              [| [| 0.0 |]; [| 0.0 |]; [| 2.0 |] |],
+              0.25 );
+            (* 2-D: ‖(0,0)−(1,1)‖² = 2 → 1/2 *)
+            ("two 2-D points", [| [| 0.0; 0.0 |]; [| 1.0; 1.0 |] |], 0.5);
+          ]);
+    Alcotest.test_case "median gamma degenerate fallbacks" `Quick (fun () ->
+        (* fewer than two points: flat 1.0 *)
+        check_close 0.0 "empty" 1.0 (Kernel.median_gamma [||]);
+        check_close 0.0 "single" 1.0 (Kernel.median_gamma [| [| 7.0 |] |]);
+        (* all points identical: no nonzero distance → default 1/dim *)
+        check_close 0.0 "identical 2-D" 0.5
+          (Kernel.median_gamma [| [| 1.0; 1.0 |]; [| 1.0; 1.0 |] |]));
+  ]
+
+let flat_tests =
+  [
+    Alcotest.test_case "flat round trip and accessors" `Quick (fun () ->
+        let rows = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |] in
+        let fx = Flat.of_rows rows in
+        Alcotest.(check int) "n" 3 (Flat.n_rows fx);
+        Alcotest.(check int) "dim" 2 (Flat.dim fx);
+        Alcotest.(check (array (float 0.0))) "row 1" rows.(1) (Flat.row fx 1);
+        check_close 0.0 "get" 6.0 (Flat.get fx 2 1);
+        check_close 0.0 "dot 0·1" 11.0 (Flat.dot fx 0 1);
+        check_close 0.0 "dot 1·2" 39.0 (Flat.dot fx 1 2);
+        check_close 0.0 "dist2" 8.0 (Flat.dist2 fx 0 1);
+        check_close 0.0 "dot_vec" 11.0 (Flat.dot_vec fx 0 [| 3.0; 4.0 |]));
+    Alcotest.test_case "flat rejects ragged and bad indices" `Quick (fun () ->
+        Alcotest.check_raises "ragged"
+          (Invalid_argument "Flat.of_rows: ragged row 1 (1 <> 2)") (fun () ->
+            ignore (Flat.of_rows [| [| 1.0; 2.0 |]; [| 3.0 |] |]));
+        let fx = Flat.of_rows [| [| 1.0 |] |] in
+        Alcotest.check_raises "row out of range"
+          (Invalid_argument "Flat: row 1") (fun () -> ignore (Flat.row fx 1));
+        Alcotest.check_raises "vec mismatch"
+          (Invalid_argument "Flat: vector length 2 <> dim 1") (fun () ->
+            ignore (Flat.dot_vec fx 0 [| 1.0; 2.0 |])));
+  ]
+
+(* Parallel CV must be bit-identical to serial: same winners, same fold
+   scores, to the last bit, whatever the domain count and even after a
+   worker stall on the same pool. *)
+let parallel_cv_tests =
+  let make_data seed n =
+    let rng = Rng.create seed in
+    let x =
+      Array.init n (fun _ ->
+          [| Rng.uniform rng (-1.) 1.; Rng.uniform rng (-1.) 1. |])
+    in
+    let y = Array.map (fun xi -> if xi.(0) +. xi.(1) > 0.0 then 1 else -1) x in
+    (x, y)
+  in
+  let bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  let check_grid_equal msg (a : Cross_val.grid_result) (b : Cross_val.grid_result) =
+    Alcotest.(check (float 0.0)) (msg ^ ": c") a.Cross_val.c b.Cross_val.c;
+    Alcotest.(check (float 0.0)) (msg ^ ": gamma") a.Cross_val.gamma
+      b.Cross_val.gamma;
+    Alcotest.(check bool) (msg ^ ": accuracy bit-identical") true
+      (bits_equal a.Cross_val.accuracy b.Cross_val.accuracy)
+  in
+  let cs = [| 1.0; 10.0 |] and gammas = [| 0.5; 1.0; 2.0 |] in
+  [
+    Alcotest.test_case "grid search bit-identical across 1/2/4 domains"
+      `Quick (fun () ->
+        let x, y = make_data 41 60 in
+        let serial =
+          Cross_val.grid_search_svc (Rng.create 5) ~x ~y ~folds:3 ~cs ~gammas
+        in
+        List.iter
+          (fun domains ->
+            let parallel =
+              Pool.with_pool ~domains (fun pool ->
+                  Cross_val.grid_search_svc ~pool (Rng.create 5) ~x ~y ~folds:3
+                    ~cs ~gammas)
+            in
+            check_grid_equal
+              (Printf.sprintf "%d domains" domains)
+              serial parallel)
+          [ 1; 2; 4 ]);
+    Alcotest.test_case "fold scores bit-identical serial vs pool" `Quick
+      (fun () ->
+        let x, y = make_data 43 50 in
+        let serial =
+          Cross_val.svc_fold_scores ~c:5.0 (Rng.create 9) ~x ~y ~folds:5
+        in
+        let parallel =
+          Pool.with_pool ~domains:4 (fun pool ->
+              Cross_val.svc_fold_scores ~c:5.0 ~pool (Rng.create 9) ~x ~y
+                ~folds:5)
+        in
+        Alcotest.(check int) "fold count" (Array.length serial)
+          (Array.length parallel);
+        Array.iteri
+          (fun f s ->
+            Alcotest.(check bool)
+              (Printf.sprintf "fold %d bit-identical" f)
+              true (bits_equal s parallel.(f)))
+          serial);
+    Alcotest.test_case "svr sign accuracy bit-identical serial vs pool" `Quick
+      (fun () ->
+        let x, yi = make_data 47 40 in
+        let y = Array.map float_of_int yi in
+        let serial =
+          Cross_val.svr_sign_accuracy ~c:5.0 (Rng.create 11) ~x ~y ~folds:4
+        in
+        let parallel =
+          Pool.with_pool ~domains:3 (fun pool ->
+              Cross_val.svr_sign_accuracy ~c:5.0 ~pool (Rng.create 11) ~x ~y
+                ~folds:4)
+        in
+        Alcotest.(check bool) "bit-identical" true (bits_equal serial parallel));
+    Alcotest.test_case "grid search survives an injected stalling worker"
+      `Quick (fun () ->
+        (* the Faults harness first: a stalled worker must not lose work *)
+        (match Stc_qa.Faults.check_pool_worker_delay ~domains:4 ~delay_s:0.05 with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "pool fault harness: %s" e);
+        let x, y = make_data 53 60 in
+        let serial =
+          Cross_val.grid_search_svc (Rng.create 5) ~x ~y ~folds:3 ~cs ~gammas
+        in
+        Pool.with_pool ~domains:4 (fun pool ->
+            (* inject the stall on the very pool the search then uses *)
+            Pool.run pool ~n:8 (fun i -> if i = 0 then Unix.sleepf 0.05);
+            let parallel =
+              Cross_val.grid_search_svc ~pool (Rng.create 5) ~x ~y ~folds:3 ~cs
+                ~gammas
+            in
+            check_grid_equal "after stall" serial parallel));
+  ]
+
 let suites =
   [
     ("svm.kernel", kernel_tests);
@@ -451,4 +619,7 @@ let suites =
     ("svm.row_cache", cache_tests);
     ("svm.platt", platt_tests);
     ("svm.smo_optimality", smo_optimality_tests);
+    ("svm.gamma", gamma_tests);
+    ("svm.flat", flat_tests);
+    ("svm.parallel_cv", parallel_cv_tests);
   ]
