@@ -5,7 +5,7 @@
 # replay the same stream.
 QA_SEED ?= 2005
 
-.PHONY: all build check test bench bench-json golden examples qa equiv serve-smoke ci clean
+.PHONY: all build check test bench bench-json golden examples qa equiv enrich serve-smoke ci clean
 
 all: build
 
@@ -22,9 +22,10 @@ bench:
 	dune exec bench/main.exe
 
 # The bench harness always writes BENCH_compaction.json, BENCH_svm.json,
-# BENCH_floor.json and BENCH_net.json (stc-bench-1 schema, see DESIGN.md)
-# next to its text output; this target exists so CI and scripts have a
-# stable name for "run the benches for their machine-readable results".
+# BENCH_floor.json, BENCH_net.json and BENCH_process.json (stc-bench-1
+# schema, see DESIGN.md) next to its text output; this target exists so
+# CI and scripts have a stable name for "run the benches for their
+# machine-readable results".
 bench-json:
 	dune exec bench/main.exe
 
@@ -45,6 +46,14 @@ qa:
 equiv:
 	dune exec test/test_main.exe -- test svm_equiv
 
+# The boundary-enrichment determinism gate (test_process.ml, suite
+# process.enrich): the enriched dataset must be bit-identical at 1, 2
+# and 4 domains and the importance-weighted yield must agree with an
+# independent uniform population. Run by name so a deregistered suite
+# makes alcotest exit nonzero — CI cannot silently skip it.
+enrich:
+	dune exec test/test_main.exe -- test process.enrich
+
 # End-to-end network serving smoke: a loopback server on an ephemeral
 # port, 100 devices from two concurrent clients (BATCH and pipelined
 # BIN paths), a hot reload under the traffic, METRICS in both formats
@@ -55,13 +64,14 @@ serve-smoke:
 
 # Everything the CI workflow runs: build, tier-1 tests, the QA sweep
 # (qcheck properties + `stc selftest`) under the pinned seed, the SMO
-# equivalence gate (fails if the suite is skipped), then the network
-# serving smoke.
+# equivalence gate and the enrichment determinism gate (each fails if
+# its suite is skipped), then the network serving smoke.
 ci:
 	dune build @all
 	dune runtest
 	$(MAKE) qa
 	$(MAKE) equiv
+	$(MAKE) enrich
 	$(MAKE) serve-smoke
 
 examples:

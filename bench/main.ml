@@ -42,7 +42,7 @@ let section title =
    BENCH_compaction.json / BENCH_svm.json / BENCH_floor.json.          *)
 (* ------------------------------------------------------------------ *)
 
-let bench_groups = [ "compaction"; "svm"; "floor"; "net" ]
+let bench_groups = [ "compaction"; "svm"; "floor"; "net"; "process" ]
 let bench_records : (string * Json.t) list ref = ref []
 
 let p_int k v = (k, Json.Num (float_of_int v))
@@ -701,6 +701,108 @@ let ablation_process_model () =
        (rows_corr @ [ row_defect ]))
 
 (* ------------------------------------------------------------------ *)
+(* Boundary-biased enrichment at equal simulation budget               *)
+(* ------------------------------------------------------------------ *)
+
+let boundary_enrichment () =
+  section
+    "Boundary-biased enrichment: acceptance-boundary density and \
+     guard-band quality at equal simulation budget (op-amp)";
+  let module Enrich = Stc_process.Enrich in
+  let train_u, _ = Lazy.force opamp_data in
+  let specs = Device_data.specs train_u in
+  let limits = Experiment.spec_limits specs in
+  let pilot = Stdlib.max 10 (opamp_train_n / 4) in
+  let t0 = Unix.gettimeofday () in
+  let train_e, test, stats =
+    Experiment.generate_opamp_enriched ~seed:2005 ~pilot
+      ~n_train:opamp_train_n ~n_test:opamp_test_n ()
+  in
+  let t_enrich = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "[enriched %d op-amp instances (pilot %d, %d proposals, acceptance \
+     %.2f) in %.1f s]\n"
+    (stats.Enrich.pilot + stats.Enrich.enriched)
+    stats.Enrich.pilot stats.Enrich.proposals stats.Enrich.acceptance_rate
+    t_enrich;
+  (* boundary density: fraction of instances whose worst normalised
+     margin sits within [width] pilot-sigmas of a spec limit; sigmas
+     come from the uniform population so both arms use one yardstick *)
+  let sigmas =
+    Array.init (Array.length specs) (fun j ->
+        Stc_numerics.Stats.stddev (Device_data.spec_column train_u j))
+  in
+  let width = 0.5 in
+  let density data =
+    let values = Device_data.values data in
+    let hits =
+      Array.fold_left
+        (fun acc row ->
+          let m = Enrich.margin_of_specs ~limits ~sigmas row in
+          if Float.abs m <= width then acc + 1 else acc)
+        0 values
+    in
+    float_of_int hits /. float_of_int (Stdlib.max 1 (Array.length values))
+  in
+  let d_uniform = density train_u and d_enriched = density train_e in
+  (* same elimination on each training set, judged on one shared
+     uniform test population: does boundary-focused data buy a better
+     guard band at the same number of simulations? *)
+  let dropped = [| 3; 7 |] in
+  let config = Experiment.opamp_config in
+  let counts_u, _ = Compaction.eliminate config ~train:train_u ~test ~dropped in
+  let counts_e, _ = Compaction.eliminate config ~train:train_e ~test ~dropped in
+  let yield_u = 100.0 *. Device_data.yield_fraction train_u in
+  let wyield_e = 100.0 *. Device_data.weighted_yield_fraction train_e in
+  let raw_yield_e = 100.0 *. Device_data.yield_fraction train_e in
+  let row name d yield counts =
+    [
+      name;
+      Printf.sprintf "%.1f%%" (100.0 *. d);
+      Printf.sprintf "%.1f%%" yield;
+      Report.pct (Metrics.escape_pct counts);
+      Report.pct (Metrics.loss_pct counts);
+      Report.pct (Metrics.guard_pct counts);
+    ]
+  in
+  print_string
+    (Report.table
+       ~header:
+         [
+           "training population"; "boundary density"; "est. yield";
+           "escape"; "loss"; "guard";
+         ]
+       [
+         row "uniform" d_uniform yield_u counts_u;
+         row "boundary-enriched (weighted)" d_enriched wyield_e counts_e;
+       ]);
+  Printf.printf
+    "enriched boundary density %.2fx uniform (width %.1f sigma); raw \
+     enriched yield %.1f%% vs importance-weighted %.1f%% (uniform %.1f%%)\n"
+    (d_enriched /. Stdlib.max 1e-9 d_uniform)
+    width raw_yield_e wyield_e yield_u;
+  (* headline numbers for BENCH_process.json *)
+  let g name v = Obs.Gauge.set (Obs.gauge name) v in
+  g "stc_bench_enrich_density_uniform" d_uniform;
+  g "stc_bench_enrich_density_enriched" d_enriched;
+  g "stc_bench_enrich_density_ratio"
+    (d_enriched /. Stdlib.max 1e-9 d_uniform);
+  g "stc_bench_enrich_density_improved"
+    (if d_enriched > d_uniform then 1.0 else 0.0);
+  g "stc_bench_enrich_yield_uniform_pct" yield_u;
+  g "stc_bench_enrich_yield_weighted_pct" wyield_e;
+  g "stc_bench_enrich_yield_abs_err_pct" (Float.abs (wyield_e -. yield_u));
+  g "stc_bench_enrich_acceptance_rate" stats.Enrich.acceptance_rate;
+  g "stc_bench_enrich_boundary_hit_rate" stats.Enrich.boundary_hit_rate;
+  g "stc_bench_enrich_generate_s" t_enrich;
+  g "stc_bench_enrich_escape_pct_uniform" (Metrics.escape_pct counts_u);
+  g "stc_bench_enrich_escape_pct_enriched" (Metrics.escape_pct counts_e);
+  g "stc_bench_enrich_loss_pct_uniform" (Metrics.loss_pct counts_u);
+  g "stc_bench_enrich_loss_pct_enriched" (Metrics.loss_pct counts_e);
+  g "stc_bench_enrich_guard_pct_uniform" (Metrics.guard_pct counts_u);
+  g "stc_bench_enrich_guard_pct_enriched" (Metrics.guard_pct counts_e)
+
+(* ------------------------------------------------------------------ *)
 (* SMO hot path: warm starts + flat kernels + parallel CV              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1229,6 +1331,11 @@ let () =
   s ~name:"ablation_regression_baseline" ~params:opamp_params ablation_regression;
   f ~name:"floor_serving" ~params:opamp_params floor_serving;
   c ~name:"resilience_overhead" ~params:opamp_params resilience;
+  let pr = bench ~group:"process" in
+  pr ~name:"boundary_enrichment"
+    ~params:
+      (p_int "pilot" (Stdlib.max 10 (opamp_train_n / 4)) :: opamp_params)
+    boundary_enrichment;
   f ~name:"qa_harness"
     ~params:[ p_int "flows" (if full_scale then 400 else 100); p_int "rows_per_flow" 16 ]
     qa_harness;

@@ -116,6 +116,21 @@ let parallel =
                  (deterministic per seed, but a different stream than the \
                  sequential generator).")
 
+let enrich_arg =
+  Arg.(value & flag
+       & info [ "enrich" ]
+           ~doc:"Boundary-biased training population: a uniform pilot fits \
+                 per-spec margins, then the remaining budget is drawn near \
+                 the acceptance boundary with importance weights recorded so \
+                 population statistics stay unbiased. Always fans out across \
+                 CPU cores; deterministic per seed at any core count.")
+
+let pilot_arg =
+  Arg.(value & opt (some int) None
+       & info [ "pilot" ] ~docv:"N"
+           ~doc:"Pilot population size for $(b,--enrich) (default: \
+                 a quarter of the training size, at least 10).")
+
 let journal_arg =
   Arg.(value & opt (some string) None
        & info [ "journal" ] ~docv:"FILE"
@@ -267,13 +282,50 @@ let print_flow_metrics flow test =
 
 (* ------------------------------ opamp ----------------------------- *)
 
+(* Shared by `stc opamp` and `stc train`: either the historical uniform
+   populations, or (--enrich) a boundary-biased training set with
+   importance weights plus a uniform test set. *)
+let opamp_populations ~parallel ~enrich ~pilot ~seed ~n_train ~n_test =
+  if not enrich then begin
+    Printf.printf "generating %d op-amp instances (seed %d)...\n%!"
+      (n_train + n_test) seed;
+    Experiment.generate_opamp ~parallel ~seed ~n_train ~n_test ()
+  end
+  else begin
+    let pilot =
+      match pilot with Some p -> p | None -> Stdlib.max 10 (n_train / 4)
+    in
+    if pilot <= 0 || pilot >= n_train then
+      die_data "--pilot must be between 1 and %d (got %d with --train %d)"
+        (n_train - 1) pilot n_train;
+    Printf.printf
+      "generating %d op-amp instances (seed %d, enriched: pilot %d)...\n%!"
+      (n_train + n_test) seed pilot;
+    let train, test, stats =
+      Experiment.generate_opamp_enriched ~seed ~pilot ~n_train ~n_test ()
+    in
+    Printf.printf
+      "enrichment: %d pilot + %d enriched, %d proposals, acceptance %.1f%%, \
+       boundary hit rate %.1f%%%s\n"
+      stats.Stc_process.Enrich.pilot stats.Stc_process.Enrich.enriched
+      stats.Stc_process.Enrich.proposals
+      (100.0 *. stats.Stc_process.Enrich.acceptance_rate)
+      (100.0 *. stats.Stc_process.Enrich.boundary_hit_rate)
+      (if stats.Stc_process.Enrich.surrogate_ok then ""
+       else " (surrogate fit degraded to uniform)");
+    Printf.printf "train yield %.1f%% raw, %.1f%% weighted\n"
+      (100.0 *. Device_data.yield_fraction train)
+      (100.0 *. Device_data.weighted_yield_fraction train);
+    (train, test)
+  end
+
 let run_opamp seed n_train n_test tolerance guard order learner grid_resolution
-    parallel journal resume metrics trace =
+    parallel enrich pilot journal resume metrics trace =
   guard_data_errors @@ fun () ->
   with_obs ~metrics ~trace @@ fun () ->
-  Printf.printf "generating %d op-amp instances (seed %d)...\n%!"
-    (n_train + n_test) seed;
-  let train, test = Experiment.generate_opamp ~parallel ~seed ~n_train ~n_test () in
+  let train, test =
+    opamp_populations ~parallel ~enrich ~pilot ~seed ~n_train ~n_test
+  in
   Printf.printf "train yield %.1f%%, test yield %.1f%%\n"
     (100.0 *. Device_data.yield_fraction train)
     (100.0 *. Device_data.yield_fraction test);
@@ -305,8 +357,8 @@ let run_opamp seed n_train n_test tolerance guard order learner grid_resolution
 let opamp_cmd =
   let term =
     Term.(const run_opamp $ seed $ n_train $ n_test $ tolerance $ guard $ order
-          $ learner $ grid_resolution $ parallel $ journal_arg $ resume_arg
-          $ metrics_arg $ trace_arg)
+          $ learner $ grid_resolution $ parallel $ enrich_arg $ pilot_arg
+          $ journal_arg $ resume_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "opamp" ~doc:"Greedy compaction of the op-amp test set") term
 
@@ -442,12 +494,12 @@ let save_test_arg =
                  ready for $(b,stc serve --input).")
 
 let run_train seed n_train n_test tolerance guard order learner grid_resolution
-    parallel save_flow save_test journal resume metrics trace =
+    parallel enrich pilot save_flow save_test journal resume metrics trace =
   guard_data_errors @@ fun () ->
   with_obs ~metrics ~trace @@ fun () ->
-  Printf.printf "generating %d op-amp instances (seed %d)...\n%!"
-    (n_train + n_test) seed;
-  let train, test = Experiment.generate_opamp ~parallel ~seed ~n_train ~n_test () in
+  let train, test =
+    opamp_populations ~parallel ~enrich ~pilot ~seed ~n_train ~n_test
+  in
   let config =
     make_config Experiment.opamp_config ~tolerance ~guard ~learner
       ~grid_resolution
@@ -479,7 +531,8 @@ let run_train seed n_train n_test tolerance guard order learner grid_resolution
 let train_cmd =
   let term =
     Term.(const run_train $ seed $ n_train $ n_test $ tolerance $ guard $ order
-          $ learner $ grid_resolution $ parallel $ save_flow_arg $ save_test_arg
+          $ learner $ grid_resolution $ parallel $ enrich_arg $ pilot_arg
+          $ save_flow_arg $ save_test_arg
           $ journal_arg $ resume_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v

@@ -1,6 +1,7 @@
 type t = {
   specs : Spec.t array;
   values : float array array;
+  weights : float array option;
 }
 
 let make ~specs ~values =
@@ -12,12 +13,29 @@ let make ~specs ~values =
           (Printf.sprintf "Device_data.make: row %d has %d values, expected %d"
              i (Array.length row) k))
     values;
-  { specs; values }
+  { specs; values; weights = None }
+
+let with_weights t w =
+  if Array.length w <> Array.length t.values then
+    invalid_arg
+      (Printf.sprintf "Device_data.with_weights: %d weights for %d instances"
+         (Array.length w) (Array.length t.values));
+  Array.iteri
+    (fun i x ->
+      if x < 0.0 || not (Float.is_finite x) then
+        invalid_arg
+          (Printf.sprintf
+             "Device_data.with_weights: weight %d is not finite non-negative" i))
+    w;
+  { t with weights = Some w }
 
 let specs t = t.specs
 let values t = t.values
 let n_instances t = Array.length t.values
 let n_specs t = Array.length t.specs
+
+let weights t = t.weights
+let weight t i = match t.weights with None -> 1.0 | Some w -> w.(i)
 
 let value t ~instance ~spec = t.values.(instance).(spec)
 let instance_row t i = t.values.(i)
@@ -64,5 +82,24 @@ let yield_fraction t =
     float_of_int !good /. float_of_int n
   end
 
-let of_montecarlo ~specs dataset =
-  make ~specs ~values:dataset.Stc_process.Montecarlo.specs
+(* Self-normalised importance estimate Σ wᵢ·[pass]ᵢ / Σ wᵢ; coincides
+   with [yield_fraction] when no weights are attached. *)
+let weighted_yield_fraction t =
+  let n = n_instances t in
+  if n = 0 then 0.0
+  else begin
+    let good = ref 0.0 and total = ref 0.0 in
+    for i = 0 to n - 1 do
+      let w = weight t i in
+      total := !total +. w;
+      if passes_all t ~instance:i then good := !good +. w
+    done;
+    if !total = 0.0 then 0.0 else !good /. !total
+  end
+
+let of_montecarlo ~specs (dataset : Stc_process.Montecarlo.dataset) =
+  (* attach weights only when some instance is actually reweighted, so
+     uniform populations keep their historical all-unweighted shape *)
+  let t = make ~specs ~values:dataset.specs in
+  if Array.for_all (fun w -> w = 1.0) dataset.weights then t
+  else with_weights t dataset.weights

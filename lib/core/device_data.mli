@@ -5,7 +5,13 @@
 type t
 
 val make : specs:Spec.t array -> values:float array array -> t
-(** Raises [Invalid_argument] on column-count mismatches. *)
+(** Raises [Invalid_argument] on column-count mismatches. The result is
+    unweighted; attach importance weights with {!with_weights}. *)
+
+val with_weights : t -> float array -> t
+(** A copy carrying the given importance weights. Raises
+    [Invalid_argument] unless there is exactly one finite non-negative
+    weight per instance. *)
 
 val specs : t -> Spec.t array
 val values : t -> float array array
@@ -34,6 +40,19 @@ val pass_labels_with : t -> specs:Spec.t array -> subset:int array -> int array
     perturbed) spec definitions, index-aligned with the data's specs. *)
 
 val yield_fraction : t -> float
-(** Fraction of instances passing every specification. *)
+(** Fraction of instances passing every specification (unweighted). *)
+
+val weights : t -> float array option
+(** Importance weights attached at construction; [None] for uniform
+    populations. *)
+
+val weight : t -> int -> float
+(** Weight of one instance; 1.0 when the population is uniform. *)
+
+val weighted_yield_fraction : t -> float
+(** Self-normalised importance estimate [Σ wᵢ·passᵢ / Σ wᵢ] of the
+    population yield; equals {!yield_fraction} for uniform data. *)
 
 val of_montecarlo : specs:Spec.t array -> Stc_process.Montecarlo.dataset -> t
+(** Carries the dataset's importance weights when any differ from 1.0;
+    uniform datasets produce an unweighted [t]. *)

@@ -114,6 +114,38 @@ let generate_opamp ?calibrate ?parallel ~seed ~n_train ~n_test () =
     ~n_train ~n_test
 
 (* ------------------------------------------------------------------ *)
+(* Boundary-biased enrichment                                          *)
+(* ------------------------------------------------------------------ *)
+
+let spec_limits specs =
+  Array.map (fun s -> (s.Spec.range.Spec.lower, s.Spec.range.Spec.upper)) specs
+
+(* The uniform test population must not share (seed, index) streams
+   with the enriched training population — a fixed odd offset derives
+   an independent stream family while staying reproducible per seed. *)
+let test_seed_offset = 0x2545F491
+
+let generate_enriched ?config ?domains device specs ~seed ~pilot ~n_train
+    ~n_test =
+  let limits = spec_limits specs in
+  let train_mc, stats =
+    Stc_process.Enrich.generate ?config ?domains ~seed ~pilot device ~limits
+      ~n:n_train
+  in
+  let test_mc =
+    Montecarlo.generate_parallel ?domains ~seed:(seed + test_seed_offset)
+      device ~n:n_test
+  in
+  ( Device_data.of_montecarlo ~specs train_mc,
+    Device_data.of_montecarlo ~specs test_mc,
+    stats )
+
+let generate_opamp_enriched ?calibrate ?config ?domains ~seed ~pilot ~n_train
+    ~n_test () =
+  generate_enriched ?config ?domains (opamp_device ?calibrate ()) opamp_specs
+    ~seed ~pilot ~n_train ~n_test
+
+(* ------------------------------------------------------------------ *)
 (* MEMS accelerometer                                                  *)
 (* ------------------------------------------------------------------ *)
 

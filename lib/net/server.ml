@@ -13,6 +13,7 @@ let m_flushes = Obs.counter "stc_net_flushes_total"
 let m_deadline_flushes = Obs.counter "stc_net_deadline_flushes_total"
 let m_backpressure = Obs.counter "stc_net_backpressure_stalls_total"
 let m_errors = Obs.counter "stc_net_errors_total"
+let m_disconnects = Obs.counter "stc_net_disconnects_total"
 let m_torn_frames = Obs.counter "stc_net_torn_frames_total"
 let h_flush = Obs.histogram "stc_net_flush_s"
 
@@ -480,7 +481,11 @@ let conn_main server id fd =
     }
   in
   (try handle_conn server conn with
-   | Quit_conn | Conn_closed -> ()
+   | Quit_conn -> ()
+   | Conn_closed ->
+     (* the peer vanished mid-conversation (EPIPE/ECONNRESET on write,
+        or eof mid-batch): per-connection teardown, not an error *)
+     Obs.Counter.incr m_disconnects
    | Unix.Unix_error _ -> Obs.Counter.incr m_errors
    | _ -> Obs.Counter.incr m_errors);
   with_lock server.lock (fun () ->
@@ -530,10 +535,21 @@ let accept_loop server lfd =
 
 (* ------------------------------ lifecycle ------------------------- *)
 
+(* Writing to a socket whose peer already disconnected raises SIGPIPE,
+   whose default disposition kills the whole process before the
+   [Unix_error EPIPE] that [write_all] handles can even be raised — one
+   client dropping mid-reply must not take the server down for every
+   other tenant. Ignoring the signal turns those writes into plain
+   EPIPE errors. Idempotent; guarded for platforms without SIGPIPE. *)
+let ignore_sigpipe () =
+  try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let start t =
   with_lock t.lock (fun () ->
       if t.started then invalid_arg "Server.start: already started";
       t.started <- true);
+  ignore_sigpipe ();
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt fd Unix.SO_REUSEADDR true;

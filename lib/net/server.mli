@@ -54,7 +54,10 @@ val create : ?config:config -> Registry.t -> t
 val start : t -> unit
 (** Binds, listens, and spawns the accept thread; returns immediately.
     Raises [Unix.Unix_error] when the address cannot be bound, and
-    [Invalid_argument] if already started. *)
+    [Invalid_argument] if already started. Also sets the process-wide
+    SIGPIPE disposition to ignore, so a client that disconnects
+    mid-reply surfaces as [EPIPE] (per-connection teardown, counted in
+    [stc_net_disconnects_total]) instead of killing the process. *)
 
 val port : t -> int
 (** The bound port (resolves [port = 0]); raises [Invalid_argument]

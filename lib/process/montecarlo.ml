@@ -8,20 +8,29 @@ type device = {
 type dataset = {
   inputs : float array array;
   specs : float array array;
+  weights : float array;
   discarded : int;
 }
 
 exception Too_many_failures of string
 
+let uniform_weights n = Array.make n 1.0
+
 let check_spec_count device values =
   if Array.length values <> device.spec_count then
     invalid_arg "Montecarlo: simulate returned wrong spec count"
 
+let max_failures_for ratio n = Stdlib.max 10 (int_of_float (ratio *. float_of_int n))
+
+let too_many_failures device ~failed ~n =
+  raise
+    (Too_many_failures
+       (Printf.sprintf "%s: %d failed draws for %d requested instances"
+          device.device_name failed n))
+
 let generate_with ?(max_failure_ratio = 0.5) rng device ~draw ~n =
   if n <= 0 then invalid_arg "Montecarlo.generate: n must be positive";
-  let max_failures =
-    Stdlib.max 10 (int_of_float (max_failure_ratio *. float_of_int n))
-  in
+  let max_failures = max_failures_for max_failure_ratio n in
   let inputs = ref [] and specs = ref [] in
   let produced = ref 0 and failed = ref 0 in
   while !produced < n do
@@ -34,15 +43,15 @@ let generate_with ?(max_failure_ratio = 0.5) rng device ~draw ~n =
       incr produced
     | None ->
       incr failed;
-      if !failed > max_failures then
-        raise
-          (Too_many_failures
-             (Printf.sprintf "%s: %d failed draws for %d requested instances"
-                device.device_name !failed n))
+      (* abort at the threshold: both the serial and the parallel
+         generator stop launching simulations the moment the cap is
+         crossed (pinned by test_process "failure cap is prompt") *)
+      if !failed > max_failures then too_many_failures device ~failed:!failed ~n
   done;
   {
     inputs = Array.of_list (List.rev !inputs);
     specs = Array.of_list (List.rev !specs);
+    weights = uniform_weights n;
     discarded = !failed;
   }
 
@@ -58,22 +67,22 @@ let instance_rng ~seed ~index ~attempt =
   Stc_numerics.Rng.create
     (seed + (index * 0x9E3779B1) + (attempt * 0x85EBCA77))
 
+let resolve_domains = function
+  | Some d when d >= 1 -> d
+  | Some _ -> invalid_arg "Montecarlo: domains must be >= 1"
+  | None -> Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
 let generate_parallel ?(max_failure_ratio = 0.5) ?domains ~seed device ~n =
   if n <= 0 then invalid_arg "Montecarlo.generate_parallel: n must be positive";
-  let domains =
-    match domains with
-    | Some d when d >= 1 -> d
-    | Some _ -> invalid_arg "Montecarlo.generate_parallel: domains must be >= 1"
-    | None -> Stdlib.max 1 (Domain.recommended_domain_count () - 1)
-  in
-  let max_failures =
-    Stdlib.max 10 (int_of_float (max_failure_ratio *. float_of_int n))
-  in
+  let domains = resolve_domains domains in
+  let max_failures = max_failures_for max_failure_ratio n in
   let inputs = Array.make n [||] in
   let specs = Array.make n [||] in
   let failures = Atomic.make 0 in
   let simulate_instance i =
-    (* retry draws within this instance's private sub-streams *)
+    (* retry draws within this instance's private sub-streams; like the
+       serial generator, no further simulation is launched once the
+       failure cap has been crossed *)
     let rec attempt_loop attempt =
       if Atomic.get failures > max_failures then ()
       else begin
@@ -93,11 +102,15 @@ let generate_parallel ?(max_failure_ratio = 0.5) ?domains ~seed device ~n =
   in
   Pool.with_pool ~domains (fun pool -> Pool.run pool ~n simulate_instance);
   if Atomic.get failures > max_failures then
-    raise
-      (Too_many_failures
-         (Printf.sprintf "%s: %d failed draws for %d requested instances"
-            device.device_name (Atomic.get failures) n));
-  { inputs; specs; discarded = Atomic.get failures }
+    too_many_failures device ~failed:(Atomic.get failures) ~n;
+  { inputs; specs; weights = uniform_weights n; discarded = Atomic.get failures }
+
+(* [discarded] is population-level simulation-yield accounting; a slice
+   carries its proportional share (rounded down) so that the two halves
+   of a [split] sum exactly to the original count. *)
+let discarded_share d n =
+  let total = Array.length d.inputs in
+  if total = 0 then 0 else d.discarded * n / total
 
 let take d n =
   if n < 0 || n > Array.length d.inputs then
@@ -105,17 +118,20 @@ let take d n =
   {
     inputs = Array.sub d.inputs 0 n;
     specs = Array.sub d.specs 0 n;
-    discarded = 0;
+    weights = Array.sub d.weights 0 n;
+    discarded = discarded_share d n;
   }
 
 let split d ~at =
   let total = Array.length d.inputs in
   if at < 0 || at > total then invalid_arg "Montecarlo.split: out of range";
-  ( take d at,
+  let left = take d at in
+  ( left,
     {
       inputs = Array.sub d.inputs at (total - at);
       specs = Array.sub d.specs at (total - at);
-      discarded = 0;
+      weights = Array.sub d.weights at (total - at);
+      discarded = d.discarded - left.discarded;
     } )
 
 let spec_column d j = Array.map (fun row -> row.(j)) d.specs

@@ -16,6 +16,10 @@ type device = {
 type dataset = {
   inputs : float array array;  (** parameter vectors, one per instance *)
   specs : float array array;   (** measured spec values, one per instance *)
+  weights : float array;
+      (** importance weights, one per instance; all 1.0 for uniform
+          sampling, set by {!Enrich} for boundary-biased populations so
+          that weighted statistics stay unbiased *)
   discarded : int;             (** draws rejected because simulation failed *)
 }
 
@@ -24,9 +28,11 @@ exception Too_many_failures of string
 val generate : ?max_failure_ratio:float -> Stc_numerics.Rng.t -> device ->
   n:int -> dataset
 (** Draws until [n] instances simulate successfully. Raises
-    [Too_many_failures] once failures exceed
-    [max_failure_ratio]·n (default 0.5) — a guard against a device
-    that never simulates. *)
+    [Too_many_failures] as soon as failures exceed
+    [max_failure_ratio]·n (default 0.5, floor of 10) — a guard against
+    a device that never simulates. Serial and parallel generation share
+    the same abort-at-threshold semantics: no further simulation is
+    launched once the cap is crossed. *)
 
 val generate_with :
   ?max_failure_ratio:float ->
@@ -38,6 +44,12 @@ val generate_with :
 (** As {!generate} but with a custom parameter sampler — used by the
     correlated process model and defect injection of {!Process_model}. *)
 
+val instance_rng : seed:int -> index:int -> attempt:int -> Stc_numerics.Rng.t
+(** The splittable per-instance stream used by {!generate_parallel}:
+    a private generator for draw [attempt] of instance [index] under
+    [seed]. Exposed so {!Enrich} can bias the sampler while keeping the
+    stream deterministic at any domain count. *)
+
 val generate_parallel :
   ?max_failure_ratio:float ->
   ?domains:int ->
@@ -45,17 +57,21 @@ val generate_parallel :
   device ->
   n:int ->
   dataset
-(** Multicore {!generate}: instance [i] is drawn from its own generator
-    derived from [(seed, i)], so the result is identical regardless of
-    [domains] (default: [Domain.recommended_domain_count]) — and also
+(** Multicore {!generate}: instance [i] is drawn from
+    [instance_rng ~seed ~index:i], so the result is identical regardless
+    of [domains] (default: [Domain.recommended_domain_count]) — and also
     identical to [generate_parallel ~domains:1]. Note the stream
     differs from the sequential {!generate}. Each failed draw for an
     instance advances that instance's private attempt counter. *)
 
 val split : dataset -> at:int -> dataset * dataset
-(** Splits into the first [at] instances and the rest. *)
+(** Splits into the first [at] instances and the rest. [discarded] is
+    apportioned proportionally: the left half carries
+    [discarded·at/total] (rounded down) and the right half the
+    remainder, so the two sides always sum to the original count. *)
 
 val take : dataset -> int -> dataset
-(** First [n] instances. *)
+(** First [n] instances, carrying the proportional share of
+    [discarded] (see {!split}). *)
 
 val spec_column : dataset -> int -> float array

@@ -61,6 +61,72 @@ let device_data ?min_specs ?max_specs ~n () =
   let* values = rows sp ~n in
   G.return (Device_data.make ~specs:sp ~values)
 
+(* ------------------------ enrichment devices ---------------------- *)
+
+(* A synthetic analytic device for the enrichment oracles: each spec is
+   a linear function of the varied parameters, so the boundary-biased
+   sampler's linear surrogate is exact and the uniform-sampling yield
+   has a known spread. Limits are placed from the propagated spread so
+   the yield lands away from 0 %/100 % (a boundary exists to enrich). *)
+let enrich_device =
+  let* n_params = G.int_range 2 5 in
+  let* n_specs = G.int_range 1 4 in
+  let* nominals = G.array_size (G.return n_params) (G.float_range 1.0 10.0) in
+  let* coeffs =
+    G.array_size (G.return n_specs)
+      (G.array_size (G.return n_params)
+         (let* mag = G.float_range 0.3 2.0 in
+          let* sign = G.bool in
+          G.return (if sign then mag else -.mag)))
+  in
+  let* intercepts = G.array_size (G.return n_specs) (G.float_range (-5.0) 5.0) in
+  let* widths =
+    G.array_size (G.return n_specs)
+      (G.pair (G.float_range 0.8 2.5) (G.float_range 0.8 2.5))
+  in
+  let* one_sided = G.array_size (G.return n_specs) (G.int_range 0 5) in
+  let params =
+    Array.mapi
+      (fun i v ->
+        Stc_process.Variation.uniform_pct (Printf.sprintf "p%d" i) v ~pct:0.10)
+      nominals
+  in
+  let predict k x =
+    let acc = ref intercepts.(k) in
+    Array.iteri (fun j c -> acc := !acc +. (c *. x.(j))) coeffs.(k);
+    !acc
+  in
+  (* uniform on ±10 % of nominal v has sd 0.2·v/√12 *)
+  let sigma k =
+    sqrt
+      (Array.fold_left ( +. ) 0.0
+         (Array.mapi
+            (fun j c ->
+              let s = 0.2 *. nominals.(j) /. sqrt 12.0 in
+              c *. s *. (c *. s))
+            coeffs.(k)))
+  in
+  let limits =
+    Array.init n_specs (fun k ->
+        let mu = predict k nominals and s = sigma k in
+        let lo_w, hi_w = widths.(k) in
+        (* occasionally one-sided: the sampler must cope with an
+           unbounded side contributing an infinite margin *)
+        match one_sided.(k) with
+        | 0 -> (neg_infinity, mu +. (hi_w *. s))
+        | 1 -> (mu -. (lo_w *. s), infinity)
+        | _ -> (mu -. (lo_w *. s), mu +. (hi_w *. s)))
+  in
+  let device =
+    {
+      Stc_process.Montecarlo.device_name = "qa linear device";
+      params;
+      spec_count = n_specs;
+      simulate = (fun x -> Some (Array.init n_specs (fun k -> predict k x)));
+    }
+  in
+  G.return (device, limits)
+
 (* ----------------------------- models ----------------------------- *)
 
 let kernel =

@@ -44,6 +44,17 @@ val rows : Stc.Spec.t array -> n:int -> float array array QCheck.Gen.t
 val device_data : ?min_specs:int -> ?max_specs:int -> n:int -> unit ->
   Stc.Device_data.t QCheck.Gen.t
 
+(* ------------------------ enrichment devices ---------------------- *)
+
+val enrich_device :
+  (Stc_process.Montecarlo.device * (float * float) array) QCheck.Gen.t
+(** A pure analytic device (2–5 varied parameters, 1–4 specs that are
+    linear in the parameters, never a failed simulation) together with
+    acceptance limits placed a random 0.8–2.5 propagated sigmas from
+    the nominal response — occasionally one-sided — so the uniform
+    yield sits away from 0 %/100 % and a boundary exists for
+    {!Stc_process.Enrich} to enrich. *)
+
 (* ----------------------------- models ----------------------------- *)
 
 val kernel : Stc_svm.Kernel.t QCheck.Gen.t

@@ -115,6 +115,37 @@ let check_mid_batch_disconnect (flow, rows) =
       rows reference
   end
 
+(* The SIGPIPE regression: a client that sends a full batch plus a tail
+   of PINGs and closes without reading a single reply. SO_LINGER 0
+   turns the close into an immediate RST, so the handler's replies meet
+   a dead socket deterministically — which, before SIGPIPE was ignored
+   at server startup, raised the default-fatal signal and killed the
+   whole process instead of the EPIPE that [write_all] maps to a
+   per-connection teardown. *)
+let check_write_after_close (flow, rows) =
+  let n = Array.length rows in
+  if n = 0 then Ok ()
+  else begin
+    let reference = offline_reference flow rows in
+    with_loopback_server flow @@ fun ~port ~registry:_ ~entry:_ ->
+    let fd = connect_raw port in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (Printf.sprintf "BATCH %s %d\n" flow_route n);
+    Array.iter
+      (fun r -> Buffer.add_string buf (Protocol.format_row r ^ "\n"))
+      rows;
+    for _ = 1 to 32 do
+      Buffer.add_string buf "PING\n"
+    done;
+    send_all fd (Buffer.contents buf);
+    Unix.setsockopt_optint fd Unix.SO_LINGER (Some 0);
+    Unix.close fd;
+    (* let the handler chew through its replies into the dead socket *)
+    Thread.delay 0.05;
+    fresh_client_matches ~what:"after write-after-close" ~port flow_route rows
+      reference
+  end
+
 let check_reload_inflight (flow, rows) =
   let reference = offline_reference flow rows in
   let path = Filename.temp_file "stc_qa_net" ".flow" in

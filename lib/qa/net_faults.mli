@@ -25,6 +25,15 @@ val check_mid_batch_disconnect :
     rows. Only that connection dies: a fresh client then runs the full
     batch and must match the offline reference. *)
 
+val check_write_after_close :
+  Stc.Compaction.flow * float array array -> (unit, string) result
+(** Sends a complete batch plus a tail of PINGs, then closes without
+    reading any reply — forcing the server to write into a socket whose
+    peer is gone. The writes must surface as [EPIPE] (per-connection
+    teardown, counted as a disconnect), {e not} as a process-fatal
+    SIGPIPE; a fresh client must then still match the offline
+    reference. *)
+
 val check_reload_inflight :
   Stc.Compaction.flow * float array array -> (unit, string) result
 (** Hammers forced hot reloads (same file, so the flow is semantically

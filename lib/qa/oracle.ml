@@ -376,3 +376,129 @@ let csv_roundtrips ~specs ~rows =
                rows;
              !mismatch
            end))
+
+(* ------------------------ enrichment oracles ---------------------- *)
+
+module Montecarlo = Stc_process.Montecarlo
+module Enrich = Stc_process.Enrich
+
+let same_float_matrix ~what a b =
+  if Array.length a <> Array.length b then
+    errorf "%s: %d rows vs %d" what (Array.length a) (Array.length b)
+  else begin
+    let bad = ref (Ok ()) in
+    Array.iteri
+      (fun i row ->
+        if !bad = Ok () then begin
+          if Array.length row <> Array.length b.(i) then
+            bad := errorf "%s: row %d width differs" what i
+          else
+            Array.iteri
+              (fun j v ->
+                (* IEEE bit pattern, no tolerance: the determinism
+                   contract is bit-identity *)
+                if
+                  !bad = Ok ()
+                  && Int64.bits_of_float v <> Int64.bits_of_float b.(i).(j)
+                then
+                  bad :=
+                    errorf "%s: (%d, %d) %.17g vs %.17g" what i j v b.(i).(j))
+              row
+        end)
+      a;
+    !bad
+  end
+
+let same_dataset ~what (a : Montecarlo.dataset) (b : Montecarlo.dataset) =
+  let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+  let* () = same_float_matrix ~what:(what ^ " inputs") a.inputs b.inputs in
+  let* () = same_float_matrix ~what:(what ^ " specs") a.specs b.specs in
+  let* () =
+    same_float_matrix ~what:(what ^ " weights") [| a.weights |] [| b.weights |]
+  in
+  if a.discarded <> b.discarded then
+    errorf "%s: discarded %d vs %d" what a.discarded b.discarded
+  else Ok ()
+
+let enrichment_deterministic ?(domain_counts = [ 1; 2; 4 ]) ~seed ~pilot ~n
+    device ~limits =
+  match domain_counts with
+  | [] -> Ok ()
+  | d0 :: rest ->
+    let gen d = Enrich.generate ~domains:d ~seed ~pilot device ~limits ~n in
+    let reference, ref_stats = gen d0 in
+    let rec check = function
+      | [] -> Ok ()
+      | d :: rest -> (
+        let got, stats = gen d in
+        let what = Printf.sprintf "domains %d vs %d" d d0 in
+        match same_dataset ~what reference got with
+        | Error _ as e -> e
+        | Ok () ->
+          if stats <> ref_stats then errorf "%s: stats differ" what
+          else check rest)
+    in
+    check rest
+
+let passes_limits limits values =
+  let ok = ref true in
+  Array.iteri
+    (fun j v ->
+      let lo, hi = limits.(j) in
+      if v < lo || v > hi then ok := false)
+    values;
+  !ok
+
+let weighted_yield ~limits (d : Montecarlo.dataset) =
+  let good = ref 0.0 and total = ref 0.0 in
+  Array.iteri
+    (fun i values ->
+      let w = d.weights.(i) in
+      total := !total +. w;
+      if passes_limits limits values then good := !good +. w)
+    d.specs;
+  if !total = 0.0 then 0.0 else !good /. !total
+
+(* Kish effective sample size: the variance of a self-normalised
+   weighted mean of n draws matches an unweighted mean of
+   (Σw)²/Σw² draws. *)
+let effective_sample_size weights =
+  let s = ref 0.0 and s2 = ref 0.0 in
+  Array.iter
+    (fun w ->
+      s := !s +. w;
+      s2 := !s2 +. (w *. w))
+    weights;
+  if !s2 = 0.0 then 0.0 else !s *. !s /. !s2
+
+let enrichment_unbiased ?(tolerance_sigmas = 5.0) ~seed ~pilot ~n device
+    ~limits =
+  let enriched, _stats = Enrich.generate ~seed ~pilot device ~limits ~n in
+  (* an independent uniform reference population of the same size *)
+  let uniform =
+    Montecarlo.generate_parallel ~seed:(seed + 0x2545F491) device ~n
+  in
+  let y_w = weighted_yield ~limits enriched in
+  let y_u = weighted_yield ~limits uniform in
+  let n_eff = Stdlib.max 1.0 (effective_sample_size enriched.weights) in
+  let se p m = sqrt (Stdlib.max 1e-12 (p *. (1.0 -. p) /. m)) in
+  let tol =
+    (tolerance_sigmas *. (se y_u (float_of_int n) +. se y_w n_eff)) +. 0.01
+  in
+  let bad_weight = ref None in
+  Array.iteri
+    (fun i w ->
+      if !bad_weight = None && (not (Float.is_finite w) || w <= 0.0) then
+        bad_weight := Some (i, w))
+    enriched.weights;
+  match !bad_weight with
+  | Some (i, w) -> errorf "weight %d is %.17g (not finite positive)" i w
+  | None ->
+    if Float.abs (y_w -. y_u) > tol then
+      errorf
+        "weighted yield %.4f vs uniform %.4f differ by %.4f > tolerance %.4f \
+         (n_eff %.1f)"
+        y_w y_u
+        (Float.abs (y_w -. y_u))
+        tol n_eff
+    else Ok ()

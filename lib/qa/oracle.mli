@@ -101,3 +101,35 @@ val csv_roundtrips :
   specs:Stc.Spec.t array -> rows:float array array -> (unit, string) result
 (** Writes to a fresh temp file, reads back, demands bit-identical
     cells and header names; the temp file is always removed. *)
+
+(* ------------------------ enrichment oracles ---------------------- *)
+
+val enrichment_deterministic :
+  ?domain_counts:int list ->
+  seed:int ->
+  pilot:int ->
+  n:int ->
+  Stc_process.Montecarlo.device ->
+  limits:(float * float) array ->
+  (unit, string) result
+(** Runs {!Stc_process.Enrich.generate} once per domain count (default
+    [1; 2; 4]) and demands bit-identical datasets — inputs, measured
+    specs, importance weights (IEEE bit patterns, no tolerance),
+    discarded count — and identical run statistics. This is the
+    contract that lets enriched populations fan out across cores. *)
+
+val enrichment_unbiased :
+  ?tolerance_sigmas:float ->
+  seed:int ->
+  pilot:int ->
+  n:int ->
+  Stc_process.Montecarlo.device ->
+  limits:(float * float) array ->
+  (unit, string) result
+(** The weighted-vs-unweighted statistics oracle: the self-normalised
+    weighted yield of an enriched population must match the plain yield
+    of an independent uniform population of the same size within
+    [tolerance_sigmas] (default 5) combined standard errors — the
+    enriched side's error computed at its Kish effective sample size —
+    plus a 0.01 absolute slack. Also rejects any non-finite or
+    non-positive importance weight. *)

@@ -205,7 +205,22 @@ let run ?(seed = 2005) ?(flows = 1000) ?(rows_per_flow = 16)
          let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
          let* () = Net_faults.check_torn_frames pooled in
          let* () = Net_faults.check_mid_batch_disconnect pooled in
+         let* () = Net_faults.check_write_after_close pooled in
          Net_faults.check_reload_inflight pooled));
+
+  (* 6b. boundary-biased enrichment: bit-identical at any domain count,
+     and the importance-weighted yield agrees with an independent
+     uniform population (the weighted-vs-unweighted statistics oracle) *)
+  push
+    (section ~name:"enrichment oracle" ~cases:4 (fun i ->
+         let device, limits = Gen.enrich_device st in
+         let seed = seed + (31 * i) in
+         let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+         let* () =
+           Oracle.enrichment_deterministic ~seed ~pilot:40 ~n:160 device
+             ~limits
+         in
+         Oracle.enrichment_unbiased ~seed ~pilot:60 ~n:400 device ~limits));
 
   (* 7. observability: metric-exporter round trips and span nesting *)
   push

@@ -423,6 +423,56 @@ let server_tests =
                   | _ ->
                     Alcotest.fail
                       "metrics JSON lacks stc_net_requests_total"))));
+    Alcotest.test_case "client killed mid-batch does not kill the server"
+      `Quick (fun () ->
+        (* the SIGPIPE regression (fault path also swept in selftest):
+           a client pushes a full batch plus a tail of PINGs and closes
+           without reading, so the handler writes into a dead socket;
+           the server must tear down that connection, count a
+           disconnect, and keep serving *)
+        let flow, rows = pooled 48 ~rows:16 in
+        let reference = offline_reference flow rows in
+        let disconnects_before =
+          float_of_int (Obs.Counter.get (Obs.counter "stc_net_disconnects_total"))
+        in
+        with_served flow (fun ~server ~registry:_ ~entry:_ ~path:_ ->
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect fd
+              (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+            let buf = Buffer.create 1024 in
+            Buffer.add_string buf
+              (Printf.sprintf "BATCH dut %d\n" (Array.length rows));
+            Array.iter
+              (fun r -> Buffer.add_string buf (Protocol.format_row r ^ "\n"))
+              rows;
+            for _ = 1 to 32 do
+              Buffer.add_string buf "PING\n"
+            done;
+            let s = Buffer.contents buf in
+            ignore (Unix.write_substring fd s 0 (String.length s));
+            (* SO_LINGER 0 turns the close into an immediate RST, so
+               the handler's replies meet a dead socket no matter how
+               fast it drains its queue *)
+            Unix.setsockopt_optint fd Unix.SO_LINGER (Some 0);
+            Unix.close fd;
+            (* wait (bounded) for the handler to hit the dead socket *)
+            let deadline = Unix.gettimeofday () +. 2.0 in
+            let disconnects () =
+              float_of_int
+                (Obs.Counter.get (Obs.counter "stc_net_disconnects_total"))
+            in
+            while
+              disconnects () <= disconnects_before
+              && Unix.gettimeofday () < deadline
+            do
+              Thread.delay 0.01
+            done;
+            Alcotest.(check bool) "disconnect counted" true
+              (disconnects () > disconnects_before);
+            (* the server is alive and bit-identical for a fresh client *)
+            with_client ~server (fun c ->
+                check_outcomes "after write-after-close" reference
+                  (get (Client.bin_batch c ~flow:"dut" rows)))));
     Alcotest.test_case "SHUTDOWN latches and wait stops the server" `Quick
       (fun () ->
         let flow, _ = pooled 46 ~rows:3 in

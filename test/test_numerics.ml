@@ -210,6 +210,28 @@ let stats_tests =
         check_float "q0" 1.0 (Stats.quantile xs 0.0);
         check_float "q1" 5.0 (Stats.quantile xs 1.0);
         check_float "q25" 2.0 (Stats.quantile xs 0.25));
+    Alcotest.test_case "quantile pins: interpolation and duplicates" `Quick
+      (fun () ->
+        check_float "median unsorted" 2.0 (Stats.median [| 3.; 1.; 2. |]);
+        check_float "even-length median" 2.5 (Stats.median [| 4.; 1.; 3.; 2. |]);
+        check_float "q75 interpolates" 3.25
+          (Stats.quantile [| 1.; 2.; 3.; 4. |] 0.75);
+        check_float "duplicates" 5.0 (Stats.median [| 5.; 5.; 5.; 5.; 1. |]);
+        check_float "singleton" 7.0 (Stats.quantile [| 7.0 |] 0.99));
+    Alcotest.test_case "quantile adversarial inputs" `Quick (fun () ->
+        (* Float.compare gives a deterministic total order: NaNs sort
+           first, so quantiles over the non-NaN tail stay finite *)
+        check_float "median skips the leading nan" 0.75
+          (Stats.median [| Float.nan; 1.0; 2.0; 0.5 |]);
+        check_float "q1 with a nan present" 2.0
+          (Stats.quantile [| Float.nan; 2.0; 1.0 |] 1.0);
+        check_float "infinities at the extremes do not disturb" 3.0
+          (Stats.median [| Float.infinity; 2.0; Float.neg_infinity; 4.0 |]);
+        check_float "negative zero does not disturb" 0.0
+          (Stats.median [| -0.0; 0.0; 0.0 |]);
+        Alcotest.(check bool)
+          "all-nan median is nan" true
+          (Float.is_nan (Stats.median [| Float.nan; Float.nan |])));
     Alcotest.test_case "correlation of linear data" `Quick (fun () ->
         let xs = [| 1.; 2.; 3.; 4. |] in
         let ys = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in

@@ -135,6 +135,71 @@ let montecarlo_tests =
           d.Montecarlo.specs.(12).(0) b.Montecarlo.specs.(0).(0);
         let t = Montecarlo.take d 5 in
         Alcotest.(check int) "take" 5 (Array.length t.Montecarlo.specs));
+    Alcotest.test_case "uniform generation carries unit weights" `Quick
+      (fun () ->
+        let d = Montecarlo.generate (Rng.create 5) toy_device ~n:12 in
+        Alcotest.(check int) "length" 12 (Array.length d.Montecarlo.weights);
+        Array.iter
+          (fun w -> Alcotest.(check (float 0.0)) "unit weight" 1.0 w)
+          d.Montecarlo.weights;
+        let a, b = Montecarlo.split d ~at:7 in
+        Alcotest.(check int) "left weights" 7
+          (Array.length a.Montecarlo.weights);
+        Alcotest.(check int) "right weights" 5
+          (Array.length b.Montecarlo.weights));
+    Alcotest.test_case "take/split apportion the discarded count" `Quick
+      (fun () ->
+        let d =
+          Montecarlo.generate ~max_failure_ratio:10.0 (Rng.create 3)
+            (flaky_device 1.0) ~n:30
+        in
+        Alcotest.(check bool) "has discards" true (d.Montecarlo.discarded > 0);
+        let a, b = Montecarlo.split d ~at:12 in
+        Alcotest.(check int) "halves sum exactly" d.Montecarlo.discarded
+          (a.Montecarlo.discarded + b.Montecarlo.discarded);
+        Alcotest.(check int) "left share is proportional"
+          (d.Montecarlo.discarded * 12 / 30)
+          a.Montecarlo.discarded;
+        Alcotest.(check int) "take matches split's left share"
+          a.Montecarlo.discarded
+          (Montecarlo.take d 12).Montecarlo.discarded;
+        Alcotest.(check int) "take all keeps everything"
+          d.Montecarlo.discarded
+          (Montecarlo.take d 30).Montecarlo.discarded;
+        Alcotest.(check int) "take none keeps nothing" 0
+          (Montecarlo.take d 0).Montecarlo.discarded);
+    Alcotest.test_case "failure cap aborts promptly in serial and parallel"
+      `Quick (fun () ->
+        (* a hopeless device: with n=30 and the default ratio the cap is
+           max 10 (0.5·30) = 15 failures, so exactly 16 simulations run
+           before the abort — in the serial generator and in the
+           parallel one at domains:1 alike *)
+        let count_calls generate =
+          let calls = ref 0 in
+          let counting =
+            {
+              toy_device with
+              Montecarlo.device_name = "hopeless";
+              simulate =
+                (fun _ ->
+                  incr calls;
+                  None);
+            }
+          in
+          (match generate counting with
+           | exception Montecarlo.Too_many_failures _ -> ()
+           | _ -> Alcotest.fail "expected Too_many_failures");
+          !calls
+        in
+        let serial =
+          count_calls (fun d -> Montecarlo.generate (Rng.create 1) d ~n:30)
+        in
+        let parallel =
+          count_calls (fun d ->
+              Montecarlo.generate_parallel ~domains:1 ~seed:1 d ~n:30)
+        in
+        Alcotest.(check int) "serial aborts after cap+1 calls" 16 serial;
+        Alcotest.(check int) "parallel (1 domain) matches" serial parallel);
     Alcotest.test_case "spec_column extracts" `Quick (fun () ->
         let d = Montecarlo.generate (Rng.create 5) toy_device ~n:8 in
         let col = Montecarlo.spec_column d 2 in
@@ -181,9 +246,113 @@ let parallel_tests =
         | _ -> Alcotest.fail "expected Too_many_failures");
   ]
 
+(* --------------------------- enrichment --------------------------- *)
+
+module Enrich = Stc_process.Enrich
+
+(* Limits on the toy device placed so the uniform yield sits away from
+   0 %/100 % — a boundary exists for the sampler to enrich. *)
+let toy_limits =
+  [|
+    (neg_infinity, 1.05);  (* a: ~75 % pass, one-sided *)
+    (1.85, infinity);      (* b: ~87 % pass, one-sided *)
+    (2.80, 3.20);          (* a+b: two-sided *)
+  |]
+
+let enrich_tests =
+  [
+    Alcotest.test_case "bit-identical across 1/2/4 domains" `Quick (fun () ->
+        match
+          Stc_qa.Oracle.enrichment_deterministic ~domain_counts:[ 1; 2; 4 ]
+            ~seed:11 ~pilot:40 ~n:160 toy_device ~limits:toy_limits
+        with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "weighted yield matches uniform yield" `Quick (fun () ->
+        match
+          Stc_qa.Oracle.enrichment_unbiased ~seed:7 ~pilot:80 ~n:500
+            toy_device ~limits:toy_limits
+        with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "boundary density exceeds uniform at equal budget"
+      `Quick (fun () ->
+        let n = 500 in
+        let enriched, stats =
+          Enrich.generate ~seed:19 ~pilot:100 toy_device ~limits:toy_limits ~n
+        in
+        Alcotest.(check bool) "surrogate fitted" true
+          stats.Enrich.surrogate_ok;
+        let uniform =
+          Montecarlo.generate_parallel ~seed:1019 toy_device ~n
+        in
+        (* a shared yardstick: sigmas measured on the uniform set *)
+        let sigmas = Enrich.spec_sigmas uniform in
+        let density d =
+          Enrich.boundary_fraction ~limits:toy_limits ~sigmas ~width:0.5 d
+        in
+        let du = density uniform and de = density enriched in
+        if not (de > du) then
+          Alcotest.failf "enriched density %.3f not above uniform %.3f" de du);
+    Alcotest.test_case "stats are coherent" `Quick (fun () ->
+        let d, stats =
+          Enrich.generate ~seed:3 ~pilot:50 toy_device ~limits:toy_limits
+            ~n:200
+        in
+        Alcotest.(check int) "pilot" 50 stats.Enrich.pilot;
+        Alcotest.(check int) "enriched" 150 stats.Enrich.enriched;
+        Alcotest.(check bool) "proposals cover the enriched draws" true
+          (stats.Enrich.proposals >= stats.Enrich.enriched);
+        Alcotest.(check bool) "acceptance in (0, 1]" true
+          (stats.Enrich.acceptance_rate > 0.0
+          && stats.Enrich.acceptance_rate <= 1.0);
+        for i = 0 to 49 do
+          Alcotest.(check (float 0.0)) "pilot weight is 1" 1.0
+            d.Montecarlo.weights.(i)
+        done;
+        Array.iter
+          (fun w ->
+            Alcotest.(check bool) "weights finite positive" true
+              (Float.is_finite w && w > 0.0))
+          d.Montecarlo.weights);
+    Alcotest.test_case "degenerate pilot falls back to uniform" `Quick
+      (fun () ->
+        (* constant specs: zero pilot spread, no usable surrogate *)
+        let flat =
+          {
+            toy_device with
+            Montecarlo.device_name = "flat";
+            simulate = (fun _ -> Some [| 1.0; 2.0; 3.0 |]);
+          }
+        in
+        let d, stats =
+          Enrich.generate ~seed:5 ~pilot:30 flat ~limits:toy_limits ~n:100
+        in
+        Alcotest.(check bool) "degraded" false stats.Enrich.surrogate_ok;
+        Array.iter
+          (fun w -> Alcotest.(check (float 0.0)) "unit weights" 1.0 w)
+          d.Montecarlo.weights);
+    Alcotest.test_case "argument validation" `Quick (fun () ->
+        let expect_invalid f =
+          match f () with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "expected Invalid_argument"
+        in
+        expect_invalid (fun () ->
+            Enrich.generate ~seed:1 ~pilot:0 toy_device ~limits:toy_limits
+              ~n:10);
+        expect_invalid (fun () ->
+            Enrich.generate ~seed:1 ~pilot:10 toy_device ~limits:toy_limits
+              ~n:10);
+        expect_invalid (fun () ->
+            Enrich.generate ~seed:1 ~pilot:2 toy_device ~limits:[| (0.0, 1.0) |]
+              ~n:10));
+  ]
+
 let suites =
   [
     ("process.variation", variation_tests);
     ("process.montecarlo", montecarlo_tests);
     ("process.parallel", parallel_tests);
+    ("process.enrich", enrich_tests);
   ]
