@@ -5,7 +5,7 @@
 # replay the same stream.
 QA_SEED ?= 2005
 
-.PHONY: all build check test bench bench-json golden examples qa equiv enrich serve-smoke ci clean
+.PHONY: all build check test bench bench-json golden examples qa equiv enrich serve-smoke chaos ci clean
 
 all: build
 
@@ -62,10 +62,20 @@ enrich:
 serve-smoke:
 	dune exec test/serve_smoke.exe
 
+# The chaos gate (test/chaos.ml): a loopback server under deliberate
+# abuse — connection flood past the admission cap, slow-loris opener,
+# reply-ignoring client, crash-injected flow engine driving the
+# circuit breaker through trip/shed/recycle/recover. Every scenario
+# must be shed or reaped with a typed ERR line while a well-behaved
+# client stays bit-identical to the offline Floor reference.
+chaos:
+	dune exec test/chaos.exe
+
 # Everything the CI workflow runs: build, tier-1 tests, the QA sweep
 # (qcheck properties + `stc selftest`) under the pinned seed, the SMO
 # equivalence gate and the enrichment determinism gate (each fails if
-# its suite is skipped), then the network serving smoke.
+# its suite is skipped), then the network serving smoke and the chaos
+# gate.
 ci:
 	dune build @all
 	dune runtest
@@ -73,6 +83,7 @@ ci:
 	$(MAKE) equiv
 	$(MAKE) enrich
 	$(MAKE) serve-smoke
+	$(MAKE) chaos
 
 examples:
 	dune exec examples/quickstart.exe

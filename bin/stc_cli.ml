@@ -690,7 +690,30 @@ let max_pending_arg =
 
 let max_conns_arg =
   Arg.(value & opt int Net_server.default_config.Net_server.max_connections
-       & info [ "max-conns" ] ~docv:"N" ~doc:"Concurrent client connections.")
+       & info [ "max-conns" ] ~docv:"N"
+           ~doc:"Concurrent client connections; arrivals past the cap are \
+                 shed with one $(i,ERR busy) line and a clean close.")
+
+let idle_timeout_arg =
+  Arg.(value & opt float Net_server.default_config.Net_server.idle_timeout_s
+       & info [ "idle-timeout" ] ~docv:"SECONDS"
+           ~doc:"Reap a connection that has sent no bytes for $(docv) \
+                 (slow-loris defense); 0 or negative disables the reaper.")
+
+let write_timeout_arg =
+  Arg.(value & opt float Net_server.default_config.Net_server.write_timeout_s
+       & info [ "write-timeout" ] ~docv:"SECONDS"
+           ~doc:"Tear down a connection whose peer stops reading replies \
+                 once a blocked write has waited $(docv); 0 or negative \
+                 waits forever.")
+
+let drain_deadline_arg =
+  Arg.(value & opt float Net_server.default_config.Net_server.drain_deadline_s
+       & info [ "drain-deadline" ] ~docv:"SECONDS"
+           ~doc:"On SIGTERM/SIGINT or a wire SHUTDOWN the server drains: \
+                 it stops accepting, answers every in-flight batch, and \
+                 exits — forcing the remaining connections closed after \
+                 $(docv).")
 
 let retries_arg =
   Arg.(value & opt int 1
@@ -707,8 +730,8 @@ let reload_signal_arg =
                  flow serving; an unchanged fingerprint is a no-op).")
 
 let run_server host listen flows flush_rows flush_deadline max_pending
-    max_conns queue_guard batch_deadline retries reload_signal batch domains
-    metrics trace =
+    max_conns idle_timeout write_timeout drain_deadline queue_guard
+    batch_deadline retries reload_signal batch domains metrics trace =
   guard_data_errors @@ fun () ->
   with_obs ~metrics ~trace @@ fun () ->
   if batch < 1 || domains < 1 then begin
@@ -721,6 +744,10 @@ let run_server host listen flows flush_rows flush_deadline max_pending
   end;
   if flush_deadline <= 0.0 then begin
     Printf.eprintf "--flush-deadline must be positive (got %g)\n" flush_deadline;
+    exit 1
+  end;
+  if drain_deadline <= 0.0 then begin
+    Printf.eprintf "--drain-deadline must be positive (got %g)\n" drain_deadline;
     exit 1
   end;
   if retries < 1 then begin
@@ -745,6 +772,9 @@ let run_server host listen flows flush_rows flush_deadline max_pending
       flush_deadline_s = flush_deadline;
       max_pending;
       max_connections = max_conns;
+      idle_timeout_s = idle_timeout;
+      write_timeout_s = write_timeout;
+      drain_deadline_s = drain_deadline;
       escalate = not queue_guard;
       retry =
         (if retries > 1 then
@@ -768,8 +798,18 @@ let run_server host listen flows flush_rows flush_deadline max_pending
   Net_server.start server;
   Printf.printf "listening on %s:%d (%d flows)\n%!" host
     (Net_server.port server) (List.length flows);
+  let announced_drain = ref false in
   let on_tick () =
-    if Atomic.get stop_requested then Net_server.stop server
+    if Atomic.get stop_requested then begin
+      (* graceful exit: stop accepting, answer every in-flight batch,
+         then let wait observe the drained (or expired) server and
+         stop it — no accepted device is dropped *)
+      if not !announced_drain then begin
+        announced_drain := true;
+        Printf.printf "draining (deadline %gs)...\n%!" drain_deadline
+      end;
+      Net_server.drain server
+    end
     else if Atomic.exchange hup false then
       List.iter
         (fun name ->
@@ -790,9 +830,10 @@ let server_cmd =
   let term =
     Term.(const run_server $ host_arg $ listen_arg $ server_flows_arg
           $ flush_rows_arg $ flush_deadline_arg $ max_pending_arg
-          $ max_conns_arg $ queue_guard_arg $ batch_deadline_arg $ retries_arg
-          $ reload_signal_arg $ batch_arg $ domains_arg $ metrics_arg
-          $ trace_arg)
+          $ max_conns_arg $ idle_timeout_arg $ write_timeout_arg
+          $ drain_deadline_arg $ queue_guard_arg $ batch_deadline_arg
+          $ retries_arg $ reload_signal_arg $ batch_arg $ domains_arg
+          $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "server"

@@ -5,6 +5,7 @@ module Report = Stc.Report
 module Spec = Stc.Spec
 module Pool = Stc_process.Pool
 module Obs = Stc_obs.Registry
+module Clock = Stc_obs.Clock
 
 (* Process-wide mirrors of the per-engine counters, plus the per-batch
    latency histogram the per-engine stats do not keep. *)
@@ -173,7 +174,7 @@ let process ?retest ?retry ?batch_deadline_s ?(strict = false) t rows =
   while !lo < n do
     let hi = Stdlib.min n (!lo + batch) in
     let base = !lo in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     (* rows are claimed in chunks, not singly: one verdict costs only
        microseconds, so per-row atomic claims (and adjacent-cell verdict
        writes from different domains) would cost more than the work *)
@@ -201,7 +202,7 @@ let process ?retest ?retry ?batch_deadline_s ?(strict = false) t rows =
     let past_deadline () =
       match batch_deadline_s with
       | None -> false
-      | Some d -> Unix.gettimeofday () -. t0 >= d
+      | Some d -> Clock.now () -. t0 >= d
     in
     let escalate row =
       match retest with
@@ -257,7 +258,7 @@ let process ?retest ?retry ?batch_deadline_s ?(strict = false) t rows =
       in
       out.(i) <- { bin; verdict = verdicts.(i) }
     done;
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Clock.now () -. t0 in
     let bump local mirror n =
       if n > 0 then begin
         Obs.Counter.add local n;

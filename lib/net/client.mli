@@ -51,6 +51,11 @@ val info : t -> flow:string -> (string, string) result
 
 val stats : t -> flow:string -> (string, string) result
 
+val health : t -> ?flow:string -> unit -> (string, string) result
+(** Readiness probe: [HEALTH] (whole server; [Error] while draining) or
+    [HEALTH <flow>] (that flow's breaker state). Returns the [OK]
+    detail line. *)
+
 val reload :
   t -> flow:string -> ?path:string -> unit ->
   ([ `Reloaded | `Unchanged ] * string, string) result

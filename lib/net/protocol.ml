@@ -14,6 +14,7 @@ type request =
   | Metrics of format
   | Stats of string
   | Reload of { flow : string; path : string option }
+  | Health of string option
   | Quit
   | Shutdown
 
@@ -96,6 +97,8 @@ let parse_request line =
     (* the path is the whole remainder: file names may contain spaces *)
     check_name name (fun () ->
         Ok (Reload { flow = name; path = Some (String.concat " " (path :: rest)) }))
+  | [ "HEALTH" ] -> Ok (Health None)
+  | [ "HEALTH"; name ] -> check_name name (fun () -> Ok (Health (Some name)))
   | [ "QUIT" ] -> Ok Quit
   | [ "SHUTDOWN" ] -> Ok Shutdown
   | [] | [ "" ] -> Error "empty request"
@@ -113,6 +116,8 @@ let format_request = function
   | Stats name -> "STATS " ^ name
   | Reload { flow; path = None } -> "RELOAD " ^ flow
   | Reload { flow; path = Some p } -> Printf.sprintf "RELOAD %s %s" flow p
+  | Health None -> "HEALTH"
+  | Health (Some name) -> "HEALTH " ^ name
   | Quit -> "QUIT"
   | Shutdown -> "SHUTDOWN"
 

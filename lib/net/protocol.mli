@@ -34,8 +34,11 @@ type request =
   | Metrics of format                      (** live registry export *)
   | Stats of string                        (** one flow's engine counters *)
   | Reload of { flow : string; path : string option }
+  | Health of string option
+      (** readiness probe: whole server ([None] — [ERR draining] while
+          the server drains) or one flow's breaker state ([Some name]) *)
   | Quit                                   (** close this connection *)
-  | Shutdown                               (** stop the whole server *)
+  | Shutdown                               (** drain, then stop the server *)
 
 val max_line_bytes : int
 (** Upper bound on one request line (1 MiB); the server drops a

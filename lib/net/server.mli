@@ -16,18 +16,37 @@
     faster than the engine bins is throttled by TCP itself — the server
     simply stops reading — and per-connection memory stays bounded.
 
+    {b Admission control and slow clients.} Connections beyond
+    [max_connections] are shed with one [ERR busy] line and a clean
+    close (counted in [stc_net_shed_total]); transient accept failures
+    (EMFILE, ENFILE, ENOBUFS, ...) never kill the listener — they are
+    counted in [stc_net_accept_errors_total] and retried under jittered
+    backoff. A connection that sends nothing for [idle_timeout_s] is
+    reaped ([ERR idle-timeout], [stc_net_idle_reaped_total]), so
+    slow-loris openers cannot pin handler threads; a client that stops
+    {e reading} is torn down when a reply write makes no progress for
+    [write_timeout_s] ([stc_net_write_timeouts_total]).
+
+    {b Graceful drain.} {!drain} (or a client [SHUTDOWN], via {!wait})
+    stops admitting connections and new work, but keeps answering:
+    pending rows flush, an in-flight [BATCH] keeps reading and binning
+    until the drain deadline, and only rows the client never delivered
+    are answered [ERR draining] — no accepted device is ever dropped.
+    Once every connection has ended, or [drain_deadline_s] elapses,
+    {!wait} calls {!stop} and returns.
+
     {b Resilience.} Guard-band escalation runs under the server's
     {!Stc_floor.Retry} policy and batch deadline, with
-    {!Stc_floor.Floor}'s sticky degraded mode per flow engine: a
-    failing full-test path sheds guard devices as [RETEST] bins — every
-    row always gets a reply line; no device is ever dropped. Torn
-    frames, oversized lines and mid-batch disconnects kill only their
-    own connection.
+    {!Stc_floor.Floor}'s sticky degraded mode per flow engine, and each
+    flow sits behind the {!Registry}'s circuit breaker: a crashing
+    engine is shed around ([RETEST] bins) and auto-recycled after a
+    cooldown — every row always gets a reply line. Torn frames,
+    oversized lines and mid-batch disconnects kill only their own
+    connection.
 
-    A [SHUTDOWN] request latches {!shutdown_requested}; the owner (CLI
-    main loop, test harness) observes it via {!wait} and calls
-    {!stop}, which closes the listener, shuts each live connection
-    down, and joins every thread. *)
+    All deadlines (flush, idle, write, drain) are computed on
+    {!Stc_obs.Clock.now}, so a wall-clock step (NTP, DST) never fires
+    or starves them. *)
 
 type config = {
   host : string;            (** bind address, default ["127.0.0.1"] *)
@@ -37,6 +56,17 @@ type config = {
   flush_rows : int;         (** batch flush threshold, default 256 *)
   flush_deadline_s : float; (** max age of a pending row, default 0.05 *)
   max_pending : int;        (** bounded pending-row queue, default 4096 *)
+  idle_timeout_s : float;
+      (** reap a connection with no request for this long (default
+          300 s; [<= 0] disables) *)
+  write_timeout_s : float;
+      (** tear down a client whose replies make no progress for this
+          long (default 30 s; [<= 0] disables) *)
+  drain_deadline_s : float; (** drain budget, default 5 s (see {!drain}) *)
+  sndbuf_bytes : int option;
+      (** per-connection SO_SNDBUF (default [None]: OS default); tests
+          shrink it to exercise the write deadline without megabytes of
+          backlog *)
   escalate : bool;          (** full-test guard rows (default true) *)
   retry : Stc_floor.Retry.policy option;  (** escalation retry policy *)
   batch_deadline_s : float option;  (** per-batch escalation bound *)
@@ -49,7 +79,8 @@ type t
 val create : ?config:config -> Registry.t -> t
 (** The registry is shared, not owned: {!stop} does not shut it down.
     Raises [Invalid_argument] on non-positive [flush_rows],
-    [flush_deadline_s], [max_pending] or [max_connections]. *)
+    [flush_deadline_s], [max_pending], [max_connections] or
+    [sndbuf_bytes], or a negative [drain_deadline_s]. *)
 
 val start : t -> unit
 (** Binds, listens, and spawns the accept thread; returns immediately.
@@ -65,15 +96,28 @@ val port : t -> int
 
 val running : t -> bool
 
+val active_connections : t -> int
+(** Currently-admitted connections. *)
+
 val shutdown_requested : t -> bool
 (** True once a client has sent [SHUTDOWN]. *)
 
+val drain : ?deadline_s:float -> t -> unit
+(** Enters drain state (idempotent): new connections and new work get
+    [ERR draining], in-flight work keeps flushing, and {!wait} stops
+    the server when the last connection ends or after [deadline_s]
+    (default [config.drain_deadline_s]), whichever is first. Safe from
+    any thread and from signal context (two atomic stores). *)
+
+val draining : t -> bool
+
 val wait : ?poll_s:float -> ?on_tick:(unit -> unit) -> t -> unit
-(** Blocks until {!stop} is called or a [SHUTDOWN] request arrives (in
-    which case it calls {!stop} itself). [on_tick] (with [poll_s]
-    period, default 0.1 s) runs between polls on the waiting thread —
-    the CLI uses it to service signal-driven reloads outside signal
-    context. *)
+(** Blocks until {!stop} is called, or a [SHUTDOWN] request / {!drain}
+    completes (in which case it calls {!stop} itself once the drain
+    deadline passes or every connection has ended). [on_tick] (with
+    [poll_s] period, default 0.1 s) runs between polls on the waiting
+    thread — the CLI uses it to service signal-driven reloads and
+    drains outside signal context. *)
 
 val stop : t -> unit
 (** Stops accepting, shuts down every live connection socket, joins the

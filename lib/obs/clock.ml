@@ -1,0 +1,9 @@
+external monotonic_s : unit -> float = "stc_obs_clock_monotonic_s"
+
+(* probed once: the stub returns a negative value when CLOCK_MONOTONIC
+   is unavailable, and a real monotonic reading is never negative *)
+let monotonic = monotonic_s () >= 0.0
+
+let now = if monotonic then monotonic_s else Unix.gettimeofday
+
+let wall = Unix.gettimeofday

@@ -1,0 +1,36 @@
+/* Monotonic wall-clock stub for Stc_obs.Clock.
+
+   OCaml 5.1's Unix library exposes only gettimeofday, whose value an
+   NTP step can yank forwards or backwards mid-run — firing or
+   suppressing every deadline computed against it. clock_gettime with
+   CLOCK_MONOTONIC is immune to clock steps (it counts seconds since an
+   arbitrary boot-time epoch), so all deadline arithmetic routes through
+   this stub. Returns a negative value when the monotonic clock is
+   unavailable, which the OCaml side treats as "fall back to
+   gettimeofday". */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#ifdef _WIN32
+
+CAMLprim value stc_obs_clock_monotonic_s(value unit)
+{
+  (void)unit;
+  return caml_copy_double(-1.0);
+}
+
+#else
+
+#include <time.h>
+
+CAMLprim value stc_obs_clock_monotonic_s(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    return caml_copy_double(-1.0);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}
+
+#endif

@@ -1,6 +1,7 @@
 exception Timeout
 
 module Obs = Stc_obs.Registry
+module Clock = Stc_obs.Clock
 
 (* Process-wide pool metrics; the per-pool supervision counters behind
    [stats] are separate standalone atomics so one pool's story is not
@@ -18,7 +19,7 @@ type job = {
   next : int Atomic.t;
   gen : int;
   mutable pending : int;  (* workers still executing this job; under mutex *)
-  submitted : float;  (* Unix time of submission, for the queue-wait metric *)
+  submitted : float;  (* monotonic Clock.now of submission, for the queue-wait metric *)
   unclaimed : bool Atomic.t;  (* true until the first task claim *)
 }
 
@@ -27,7 +28,7 @@ type worker = {
   mutable busy_gen : int;  (* generation being executed, 0 = idle; under mutex *)
   mutable zombie : bool;   (* abandoned: park as a spare when the task returns *)
   mutable active : bool;   (* false = parked spare, takes no jobs; under mutex *)
-  mutable heartbeat : float;  (* last task claim (Unix time); written by owner *)
+  mutable heartbeat : float;  (* last task claim (monotonic); written by owner *)
 }
 
 type stats = {
@@ -59,7 +60,7 @@ let exec t w job =
   let rec claim () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < job.n then begin
-      w.heartbeat <- Unix.gettimeofday ();
+      w.heartbeat <- Clock.now ();
       if
         Atomic.get job.unclaimed
         && Atomic.compare_and_set job.unclaimed true false
@@ -131,7 +132,7 @@ let spawn_worker t initial_seen =
       busy_gen = 0;
       zombie = false;
       active = true;
-      heartbeat = Unix.gettimeofday ();
+      heartbeat = Clock.now ();
     }
   in
   w.domain <- Some (Domain.spawn (fun () -> helper_loop t w initial_seen));
@@ -168,7 +169,7 @@ let stats t =
   }
 
 let heartbeat_ages t =
-  let now = Unix.gettimeofday () in
+  let now = Clock.now () in
   Mutex.lock t.mutex;
   let ages = List.map (fun w -> now -. w.heartbeat) t.workers in
   Mutex.unlock t.mutex;
@@ -184,7 +185,7 @@ let submit_locked t ~pending f n =
       next = Atomic.make 0;
       gen = t.generation;
       pending;
-      submitted = Unix.gettimeofday ();
+      submitted = Clock.now ();
       unclaimed = Atomic.make true;
     }
   in
@@ -205,7 +206,7 @@ let run_participating t ~n f =
       busy_gen = 0;
       zombie = false;
       active = true;
-      heartbeat = Unix.gettimeofday ();
+      heartbeat = Clock.now ();
     }
   in
   Mutex.lock t.mutex;
@@ -263,7 +264,7 @@ let run_supervised t ~n ~deadline_s f =
   grow ();
   let job = submit_locked t ~pending:(List.length t.workers) f n in
   Mutex.unlock t.mutex;
-  let deadline = Unix.gettimeofday () +. deadline_s in
+  let deadline = Clock.now () +. deadline_s in
   (* short jobs finish in microseconds: yield to the helpers for a
      while before paying the scheduler's full sleep quantum, so
      supervision stays cheap on jobs of any size *)
@@ -277,7 +278,7 @@ let run_supervised t ~n ~deadline_s f =
       Mutex.unlock t.mutex;
       match error with None -> () | Some e -> raise e
     end
-    else if Unix.gettimeofday () >= deadline then timeout ()
+    else if Clock.now () >= deadline then timeout ()
     else begin
       Mutex.unlock t.mutex;
       if !yields > 0 then begin
@@ -298,11 +299,11 @@ let run_supervised t ~n ~deadline_s f =
     Atomic.set job.next job.n;
     Mutex.unlock t.mutex;
     (* a short grace: workers mid-task but healthy finish and go idle *)
-    let grace_deadline = Unix.gettimeofday () +. grace_s in
+    let grace_deadline = Clock.now () +. grace_s in
     let rec grace () =
       Mutex.lock t.mutex;
       if job.pending = 0 then Mutex.unlock t.mutex
-      else if Unix.gettimeofday () >= grace_deadline then begin
+      else if Clock.now () >= grace_deadline then begin
         (* whoever is still inside the abandoned generation is stalled:
            cut it loose and replace it, so the pool stays serviceable.
            Parked spares (ex-zombies whose stalled task eventually

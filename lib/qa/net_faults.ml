@@ -34,19 +34,46 @@ let same_outcomes ~what reference got =
 
 let flow_route = "dut"
 
-let with_loopback_server flow f =
-  let registry = Registry.create () in
+let default_loopback_config =
+  { Server.default_config with Server.flush_deadline_s = 0.02 }
+
+let with_loopback_server ?(config = default_loopback_config) ?breaker flow f =
+  let registry = Registry.create ?breaker () in
   match Registry.add registry ~name:flow_route flow with
   | Error e -> Error ("registry add: " ^ e)
   | Ok entry ->
     Fun.protect
       ~finally:(fun () -> Registry.shutdown registry)
       (fun () ->
-        let config =
-          { Server.default_config with Server.flush_deadline_s = 0.02 }
-        in
         Server.with_server ~config registry (fun server ->
             f ~port:(Server.port server) ~registry ~entry))
+
+(* the process-global metrics registry: checks assert deltas, never
+   absolute values, because earlier checks in the same process also
+   bump these counters *)
+let counter_value name =
+  let text = Stc_obs.Registry.to_text () in
+  let value = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         match String.split_on_char ' ' line with
+         | [ "counter"; n; v ] when n = name ->
+           (match int_of_string_opt v with Some v -> value := v | None -> ())
+         | _ -> ());
+  !value
+
+let await ~what ~timeout_s pred =
+  let deadline = Stc_obs.Clock.now () +. timeout_s in
+  let rec go () =
+    if pred () then Ok ()
+    else if Stc_obs.Clock.now () >= deadline then
+      Error (Printf.sprintf "%s: not observed within %gs" what timeout_s)
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
 
 let connect_raw port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -216,3 +243,255 @@ let check_reload_inflight (flow, rows) =
         else if !reloads = 0 then
           Error "no reload completed while the client streamed"
         else Ok ())
+
+(* ------------------------------ chaos ----------------------------- *)
+
+(* [send_all] is fine for the small frames above; the chaos attackers
+   push hundreds of kilobytes and must survive partial writes *)
+let send_string fd s =
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    match Unix.write_substring fd s !pos (n - !pos) with
+    | written -> pos := !pos + written
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* drain one connection to EOF, returning the lines seen (bounded) *)
+let read_until_eof ?(max_lines = 64) ic =
+  let lines = ref [] in
+  (try
+     for _ = 1 to max_lines do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file | Sys_error _ -> ());
+  List.rev !lines
+
+let check_slow_loris (flow, rows) =
+  let reference = offline_reference flow rows in
+  let config =
+    { default_loopback_config with Server.idle_timeout_s = 0.25 }
+  in
+  with_loopback_server ~config flow @@ fun ~port ~registry:_ ~entry:_ ->
+  let reaped0 = counter_value "stc_net_idle_reaped_total" in
+  (* a classic slow loris: open, trickle a partial frame, go silent *)
+  let fd = connect_raw port in
+  let ic = Unix.in_channel_of_descr fd in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  send_all fd "PIN";  (* never finished *)
+  let* () =
+    await ~what:"idle reap counter" ~timeout_s:5.0 (fun () ->
+        counter_value "stc_net_idle_reaped_total" > reaped0)
+  in
+  (* the server must have told us why and closed the stream *)
+  let lines = read_until_eof ic in
+  let* () =
+    match lines with
+    | line :: _ -> expect_prefix ~what:"slow-loris reply" "ERR idle-timeout" line
+    | [] -> Error "slow-loris: connection closed without an ERR idle-timeout"
+  in
+  (* ...while a live client on the same server is untouched *)
+  fresh_client_matches ~what:"after slow-loris reap" ~port flow_route rows
+    reference
+
+let check_reply_ignorer (flow, rows) =
+  let n = Array.length rows in
+  if n = 0 then Ok ()
+  else begin
+    let reference = offline_reference flow rows in
+    let count = 16384 in
+    let config =
+      {
+        default_loopback_config with
+        Server.write_timeout_s = 0.25;
+        max_pending = count;
+        (* shrink the server's send buffer so the unread replies fill
+           it in kilobytes, not megabytes *)
+        sndbuf_bytes = Some 4096;
+      }
+    in
+    with_loopback_server ~config flow @@ fun ~port ~registry:_ ~entry:_ ->
+    let timeouts0 = counter_value "stc_net_write_timeouts_total" in
+    let fd = connect_raw port in
+    (* a tiny receive window: the attacker's kernel stops ACKing new
+       reply bytes almost immediately *)
+    (try Unix.setsockopt_int fd Unix.SO_RCVBUF 4096
+     with Unix.Unix_error _ -> ());
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    let buf = Buffer.create (count * 32) in
+    Buffer.add_string buf (Printf.sprintf "BATCH %s %d\n" flow_route count);
+    for i = 0 to count - 1 do
+      Buffer.add_string buf (Protocol.format_row rows.(i mod n) ^ "\n")
+    done;
+    send_string fd (Buffer.contents buf);
+    (* ...and never read a single reply byte *)
+    let* () =
+      await ~what:"write timeout counter" ~timeout_s:10.0 (fun () ->
+          counter_value "stc_net_write_timeouts_total" > timeouts0)
+    in
+    fresh_client_matches ~what:"after reply-ignoring client" ~port flow_route
+      rows reference
+  end
+
+let check_connection_flood (flow, rows) =
+  let reference = offline_reference flow rows in
+  let max_conns = 8 in
+  let flood = 4 * max_conns in
+  let config =
+    { default_loopback_config with Server.max_connections = max_conns }
+  in
+  with_loopback_server ~config flow @@ fun ~port ~registry:_ ~entry:_ ->
+  let shed0 = counter_value "stc_net_shed_total" in
+  let fds = Array.init flood (fun _ -> connect_raw port) in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        fds)
+  @@ fun () ->
+  (* every connection asks for proof of life; the admitted ones get
+     [OK pong], the shed ones one [ERR busy] line and a clean close *)
+  Array.iter (fun fd -> send_all fd "PING\n") fds;
+  let admitted = ref 0 and shed = ref 0 and odd = ref [] in
+  Array.iter
+    (fun fd ->
+      let ic = Unix.in_channel_of_descr fd in
+      match input_line ic with
+      | line when String.length line >= 2 && String.sub line 0 2 = "OK" ->
+        incr admitted
+      | line when String.length line >= 8 && String.sub line 0 8 = "ERR busy"
+        ->
+        incr shed
+      | line -> odd := line :: !odd
+      | exception (End_of_file | Sys_error _) ->
+        odd := "<closed without a reply line>" :: !odd)
+    fds;
+  let* () =
+    match !odd with
+    | [] -> Ok ()
+    | line :: _ ->
+      Error (Printf.sprintf "flood: unexpected first reply %S" line)
+  in
+  let* () =
+    if !admitted = max_conns && !shed = flood - max_conns then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "flood of %d against max-conns %d: %d admitted, %d shed" flood
+           max_conns !admitted !shed)
+  in
+  let* () =
+    if counter_value "stc_net_shed_total" - shed0 >= flood - max_conns then
+      Ok ()
+    else Error "flood: stc_net_shed_total did not count the shed connections"
+  in
+  (* free the slots, then the server must serve untouched *)
+  Array.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    fds;
+  let* () =
+    await ~what:"flood slots released" ~timeout_s:5.0 (fun () ->
+        match
+          let c = Client.connect ~port () in
+          Fun.protect ~finally:(fun () -> Client.quit c) (fun () ->
+              Client.ping c)
+        with
+        | Ok () -> true
+        | Error _ -> false
+        | exception _ -> false)
+  in
+  fresh_client_matches ~what:"after connection flood" ~port flow_route rows
+    reference
+
+(* the breaker contract, end to end over the wire: repeated engine
+   crashes degrade the flow to RETEST verdicts instead of killing
+   connections, HEALTH tracks closed -> open -> closed, and after the
+   cooldown the auto-recycled engine serves bit-identical verdicts *)
+let check_breaker_cycle (flow, rows) =
+  let n = Array.length rows in
+  if n = 0 then Ok ()
+  else begin
+    let reference = offline_reference flow rows in
+    let all_retest got =
+      if
+        Array.for_all
+          (fun (o : Floor.outcome) ->
+            o.Floor.bin = Stc.Tester.Retest
+            && o.Floor.verdict = Stc.Guard_band.Guard)
+          got
+      then Ok ()
+      else Error "breaker: a crashed batch leaked a non-RETEST verdict"
+    in
+    let contains ~needle hay =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i =
+        if i + nn > nh then false
+        else String.sub hay i nn = needle || go (i + 1)
+      in
+      nn = 0 || go 0
+    in
+    let breaker =
+      {
+        Registry.failure_threshold = 2;
+        cooldown_s = 1.0;
+        cooldown_backoff = 1.0;
+        max_cooldown_s = 1.0;
+      }
+    in
+    with_loopback_server ~breaker flow @@ fun ~port ~registry:_ ~entry ->
+    let c = Client.connect ~port () in
+    Fun.protect ~finally:(fun () -> Client.quit c) @@ fun () ->
+    let health_is ~what state =
+      match Client.health c ~flow:flow_route () with
+      | Error e -> Error (Printf.sprintf "%s: HEALTH: %s" what e)
+      | Ok detail ->
+        let want = Printf.sprintf "breaker %s" state in
+        if contains ~needle:(want ^ " ") (detail ^ " ") then Ok ()
+        else
+          Error
+            (Printf.sprintf "%s: HEALTH says %S, expected %S" what detail want)
+    in
+    let batch what =
+      match Client.bin_batch c ~flow:flow_route rows with
+      | Error e -> Error (Printf.sprintf "%s: %s" what e)
+      | Ok got -> Ok got
+    in
+    (* healthy serving first *)
+    let* () = health_is ~what:"before faults" "closed" in
+    let* () =
+      match batch "healthy batch" with
+      | Error _ as e -> e
+      | Ok got -> same_outcomes ~what:"healthy batch" reference got
+    in
+    (* two consecutive crashes trip the threshold-2 breaker; both
+       batches are still answered, row for row, as RETEST *)
+    Registry.inject_engine_faults entry 2;
+    let* () =
+      match batch "first crash" with Error _ as e -> e | Ok got -> all_retest got
+    in
+    let* () =
+      match batch "second crash" with
+      | Error _ as e -> e
+      | Ok got -> all_retest got
+    in
+    let* () = health_is ~what:"after tripping" "open" in
+    (* while open the engine is not even asked *)
+    let* () =
+      match batch "while open" with Error _ as e -> e | Ok got -> all_retest got
+    in
+    (* cooldown passes; the half-open probe meets a healthy engine,
+       closes the breaker, and the verdicts are bit-identical again *)
+    Thread.delay 1.2;
+    let* () =
+      match batch "half-open probe" with
+      | Error _ as e -> e
+      | Ok got -> same_outcomes ~what:"half-open probe" reference got
+    in
+    let* () = health_is ~what:"after recovery" "closed" in
+    if (Registry.status entry).Registry.breaker_trips < 1 then
+      Error "breaker: status never recorded a trip"
+    else Ok ()
+  end

@@ -42,3 +42,38 @@ val check_reload_inflight :
     the offline reference (the swap drains — no batch straddles two
     engines), and the entry's version must have advanced by exactly the
     number of successful reloads. *)
+
+val check_slow_loris :
+  Stc.Compaction.flow * float array array -> (unit, string) result
+(** Opens a connection, trickles a partial frame, then goes silent
+    against a server with a short idle deadline. The connection must be
+    reaped ([ERR idle-timeout] then a close, counted in
+    [stc_net_idle_reaped_total]) while a live client on the same server
+    still matches the offline reference. *)
+
+val check_reply_ignorer :
+  Stc.Compaction.flow * float array array -> (unit, string) result
+(** Sends a huge batch and never reads a reply byte, with the server's
+    send buffer and the attacker's receive window both squeezed so the
+    replies jam quickly. The server must tear the connection down via
+    its write deadline ([stc_net_write_timeouts_total]) instead of
+    wedging a handler thread, and a fresh client must still match the
+    offline reference. *)
+
+val check_connection_flood :
+  Stc.Compaction.flow * float array array -> (unit, string) result
+(** Opens 4x [max_connections] at once. Exactly [max_connections] are
+    admitted (they answer [PING]); every surplus connection is shed
+    with one [ERR busy] line and a clean close, counted in
+    [stc_net_shed_total]. Once the flood releases its slots a fresh
+    client must be admitted and match the offline reference. *)
+
+val check_breaker_cycle :
+  Stc.Compaction.flow * float array array -> (unit, string) result
+(** Drives the per-flow circuit breaker through a full cycle over the
+    wire using the registry's crash failpoint: consecutive engine
+    crashes answer every row [RETEST]/[GUARD] (never an error, never a
+    dropped device) and trip the breaker; [HEALTH] reports
+    [closed -> open -> closed]; after the cooldown the auto-recycled
+    engine's half-open probe succeeds and verdicts are again
+    bit-identical to the offline reference. *)

@@ -208,6 +208,18 @@ let run ?(seed = 2005) ?(flows = 1000) ?(rows_per_flow = 16)
          let* () = Net_faults.check_write_after_close pooled in
          Net_faults.check_reload_inflight pooled));
 
+  (* 6c. chaos: overload, slow clients, crashing engines — the server
+     must shed, reap, and self-heal without ever dropping an accepted
+     device or letting a fresh client diverge from the offline engine *)
+  push
+    (section ~name:"chaos: overload and self-healing" ~cases:1 (fun i ->
+         let pooled = next_pooled i in
+         let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+         let* () = Net_faults.check_connection_flood pooled in
+         let* () = Net_faults.check_slow_loris pooled in
+         let* () = Net_faults.check_reply_ignorer pooled in
+         Net_faults.check_breaker_cycle pooled));
+
   (* 6b. boundary-biased enrichment: bit-identical at any domain count,
      and the importance-weighted yield agrees with an independent
      uniform population (the weighted-vs-unweighted statistics oracle) *)

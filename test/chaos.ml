@@ -1,0 +1,75 @@
+(* Chaos gate: the stc_net serving stack under deliberate abuse, run
+   by `make chaos` (and `make ci`). Each scenario boots a real loopback
+   server and attacks it — a connection flood past the admission cap, a
+   slow-loris opener, a client that never reads its replies, and a
+   crash-injected flow engine driving the circuit breaker through a
+   full trip/recover cycle. The contract under every attack: the abuse
+   is shed or reaped with a typed ERR line, the process survives, and a
+   well-behaved client's verdicts stay bit-identical to the offline
+   [Floor.process] reference. Exits 0 on success, 1 on any failure. *)
+
+module Spec = Stc.Spec
+module Device_data = Stc.Device_data
+module Compaction = Stc.Compaction
+module Rng = Stc_numerics.Rng
+module Net_faults = Stc_qa.Net_faults
+
+let failures = ref 0
+
+let check name = function
+  | Ok () -> Printf.printf "ok   %s\n%!" name
+  | Error e ->
+    incr failures;
+    Printf.printf "FAIL %s: %s\n%!" name e
+
+let specs =
+  [|
+    Spec.make ~name:"s0" ~unit_label:"V" ~nominal:1.0 ~lower:0.5 ~upper:1.5;
+    Spec.make ~name:"s1" ~unit_label:"V" ~nominal:1.0 ~lower:0.5 ~upper:1.5;
+    Spec.make ~name:"s2" ~unit_label:"V" ~nominal:2.0 ~lower:1.3 ~upper:2.5;
+  |]
+
+let population seed n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ ->
+      let a = Rng.gaussian rng ~mean:1.0 ~sigma:0.25 in
+      let b = Rng.gaussian rng ~mean:1.0 ~sigma:0.25 in
+      [| a; b; a +. b |])
+
+let train_flow () =
+  let train = Device_data.make ~specs ~values:(population 11 800) in
+  let test = Device_data.make ~specs ~values:(population 12 400) in
+  let config =
+    {
+      Compaction.default_config with
+      Compaction.guard_fraction = 0.02;
+      tolerance = 0.03;
+      learner =
+        Compaction.Epsilon_svr { c = 10.0; epsilon = 0.1; gamma = Some 4.0 };
+    }
+  in
+  let result =
+    Compaction.greedy ~order:(Stc.Order.Given [| 2; 0; 1 |]) config ~train ~test
+  in
+  result.Compaction.flow
+
+let () =
+  let flow = train_flow () in
+  let pooled = (flow, population 13 40) in
+  Printf.printf "chaos: pid %d\n%!" (Unix.getpid ());
+  check "connection flood sheds past max-conns, admitted stay correct"
+    (Net_faults.check_connection_flood pooled);
+  check "slow-loris opener reaped by the idle deadline"
+    (Net_faults.check_slow_loris pooled);
+  check "reply-ignoring client torn down by the write deadline"
+    (Net_faults.check_reply_ignorer pooled);
+  check "crashing engine trips, sheds RETEST, auto-recycles, recovers"
+    (Net_faults.check_breaker_cycle pooled);
+  if !failures = 0 then begin
+    print_endline "chaos: all scenarios survived";
+    exit 0
+  end
+  else begin
+    Printf.eprintf "chaos: %d scenario(s) failed\n" !failures;
+    exit 1
+  end

@@ -165,7 +165,23 @@ let () =
                check "METRICS json parses with nonzero request counter"
                  (match Json.member "stc_net_requests_total" doc with
                   | Some (Json.Num n) -> n >= 1.0
-                  | _ -> false)));
+                  | _ -> false);
+               (* the overload-defense counters must be exported even
+                  when idle (0 until an attack), so dashboards can
+                  alert on them without waiting for an incident *)
+               let exported name =
+                 match Json.member name doc with
+                 | Some (Json.Num n) -> n >= 0.0
+                 | _ -> false
+               in
+               check "METRICS json exports the load-shedding counter"
+                 (exported "stc_net_shed_total");
+               check "METRICS json exports the idle-reap counter"
+                 (exported "stc_net_idle_reaped_total");
+               check "METRICS json exports the write-timeout counter"
+                 (exported "stc_net_write_timeouts_total");
+               check "METRICS json exports the accept-error counter"
+                 (exported "stc_net_accept_errors_total")));
           (* clean shutdown over the wire *)
           match Client.shutdown c with
           | Ok () -> ()

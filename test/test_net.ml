@@ -61,6 +61,11 @@ let with_client ~server f =
 
 let get = function Ok v -> v | Error e -> Alcotest.fail e
 
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
 (* ------------------------------ protocol -------------------------- *)
 
 let protocol_tests =
@@ -91,6 +96,8 @@ let protocol_tests =
             Protocol.Reload { flow = "dut"; path = None };
             Protocol.Reload
               { flow = "dut"; path = Some "/tmp/with space/flow.stc" };
+            Protocol.Health None;
+            Protocol.Health (Some "mems.hot-1");
           ]);
     Alcotest.test_case "rows keep every bit through %.17g" `Quick (fun () ->
         let row =
@@ -127,6 +134,8 @@ let protocol_tests =
             "METRICS xml";
             "INFO";
             "bin dut 1.0";
+            "HEALTH b@d";
+            "HEALTH two flows";
           ]);
     Alcotest.test_case "flow names are fenced" `Quick (fun () ->
         List.iter
@@ -249,6 +258,49 @@ let registry_tests =
               (offline_reference identity rows)
               (get (Registry.process entry rows));
             Registry.shutdown r));
+    Alcotest.test_case "breaker trips on repeated crashes, recycle heals"
+      `Quick (fun () ->
+        let flow, rows = pooled 35 ~rows:4 in
+        let breaker =
+          (* a huge cooldown pins the breaker open: this test drives the
+             manual recycle path, the chaos gate drives the auto one *)
+          {
+            Registry.failure_threshold = 2;
+            cooldown_s = 30.0;
+            cooldown_backoff = 2.0;
+            max_cooldown_s = 60.0;
+          }
+        in
+        let r = Registry.create ~breaker () in
+        let entry = get (Registry.add r ~name:"a" flow) in
+        let reference = offline_reference flow rows in
+        let shed_reference =
+          Array.map
+            (fun _ ->
+              { Floor.bin = Tester.Retest; verdict = Guard_band.Guard })
+            rows
+        in
+        check_outcomes "healthy before faults" reference
+          (get (Registry.process entry rows));
+        Registry.inject_engine_faults entry 2;
+        check_outcomes "first crash sheds RETEST" shed_reference
+          (get (Registry.process entry rows));
+        Alcotest.(check bool) "one failure stays closed" true
+          (Registry.breaker entry = Registry.Closed);
+        check_outcomes "second crash sheds RETEST" shed_reference
+          (get (Registry.process entry rows));
+        Alcotest.(check bool) "threshold trips the breaker" true
+          (Registry.breaker entry = Registry.Open);
+        check_outcomes "open breaker sheds without the engine" shed_reference
+          (get (Registry.process entry rows));
+        Alcotest.(check int) "trip recorded" 1
+          (Registry.status entry).Registry.breaker_trips;
+        Registry.recycle entry;
+        Alcotest.(check bool) "recycle closes the breaker" true
+          (Registry.breaker entry = Registry.Closed);
+        check_outcomes "bit-identical after recycle" reference
+          (get (Registry.process entry rows));
+        Registry.shutdown r);
     Alcotest.test_case "reload without a source is an error" `Quick (fun () ->
         let flow, _ = pooled 34 ~rows:3 in
         let r = Registry.create () in
@@ -473,6 +525,128 @@ let server_tests =
             with_client ~server (fun c ->
                 check_outcomes "after write-after-close" reference
                   (get (Client.bin_batch c ~flow:"dut" rows)))));
+    Alcotest.test_case "HEALTH tracks the per-flow breaker over the wire"
+      `Quick (fun () ->
+        let flow, rows = pooled 49 ~rows:6 in
+        let reference = offline_reference flow rows in
+        with_served flow (fun ~server ~registry:_ ~entry ~path:_ ->
+            with_client ~server (fun c ->
+                let h = get (Client.health c ()) in
+                Alcotest.(check bool) "server healthy" true
+                  (contains ~needle:"health serving" h
+                  && contains ~needle:"breakers-open 0" h);
+                let hf = get (Client.health c ~flow:"dut" ()) in
+                Alcotest.(check bool) "flow breaker closed" true
+                  (contains ~needle:"breaker closed" hf);
+                (match Client.health c ~flow:"ghost" () with
+                 | Error _ -> ()
+                 | Ok d -> Alcotest.fail ("HEALTH on a ghost flow: " ^ d));
+                (* crash the engine past the default threshold: the
+                   rows still get replies (RETEST), HEALTH flips *)
+                Registry.inject_engine_faults entry 3;
+                for _ = 1 to 3 do
+                  let shed = get (Client.bin_batch c ~flow:"dut" rows) in
+                  Array.iter
+                    (fun (o : Floor.outcome) ->
+                      Alcotest.(check bool) "shed as RETEST" true
+                        (o.Floor.bin = Tester.Retest))
+                    shed
+                done;
+                let hf = get (Client.health c ~flow:"dut" ()) in
+                Alcotest.(check bool) "flow breaker open" true
+                  (contains ~needle:"breaker open" hf);
+                let h = get (Client.health c ()) in
+                Alcotest.(check bool) "server counts the open breaker" true
+                  (contains ~needle:"breakers-open 1" h);
+                (* a manual recycle heals it, bit-identically *)
+                Registry.recycle entry;
+                let hf = get (Client.health c ~flow:"dut" ()) in
+                Alcotest.(check bool) "flow breaker closed again" true
+                  (contains ~needle:"breaker closed" hf);
+                check_outcomes "bit-identical after recycle" reference
+                  (get (Client.bin_batch c ~flow:"dut" rows)))));
+    Alcotest.test_case "drain answers half-flushed batches then stops"
+      `Quick (fun () ->
+        let flow, rows = pooled 50 ~rows:20 in
+        let reference = offline_reference flow rows in
+        let n = Array.length rows in
+        let half = n / 2 in
+        let config =
+          { Server.default_config with Server.drain_deadline_s = 10.0 }
+        in
+        with_served ~config flow (fun ~server ~registry:_ ~entry:_ ~path:_ ->
+            (* two clients park a half-delivered BATCH each *)
+            let open_half () =
+              let c = Client.connect ~port:(Server.port server) () in
+              Client.send_line c
+                (Protocol.format_request (Protocol.Batch ("dut", n)));
+              for i = 0 to half - 1 do
+                Client.send_line c (Protocol.format_row rows.(i))
+              done;
+              c
+            in
+            let a = open_half () in
+            let b = open_half () in
+            let idle = Client.connect ~port:(Server.port server) () in
+            with_client ~server (fun admin ->
+                match Client.shutdown admin with
+                | Ok () -> ()
+                | Error e -> Alcotest.fail e);
+            let t0 = Unix.gettimeofday () in
+            let waiter =
+              Thread.create (fun () -> Server.wait ~poll_s:0.01 server) ()
+            in
+            let deadline = Unix.gettimeofday () +. 2.0 in
+            while
+              (not (Server.draining server))
+              && Unix.gettimeofday () < deadline
+            do
+              Thread.delay 0.005
+            done;
+            Alcotest.(check bool) "draining engaged" true
+              (Server.draining server);
+            (* a new connection is shed with a typed line *)
+            let rej = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect rej
+              (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+            let rej_ic = Unix.in_channel_of_descr rej in
+            (match input_line rej_ic with
+             | line ->
+               Alcotest.(check bool) "ERR draining for new connections" true
+                 (contains ~needle:"ERR draining" line)
+             | exception End_of_file ->
+               Alcotest.fail "new connection closed without ERR draining");
+            close_in_noerr rej_ic;
+            (* new work on an already-open connection is refused too *)
+            (match Client.health idle () with
+             | Error e ->
+               Alcotest.(check bool) "HEALTH says draining" true
+                 (contains ~needle:"draining" e)
+             | Ok d -> Alcotest.fail ("HEALTH during drain: " ^ d));
+            Client.close idle;
+            (* the parked batches deliver their second halves under the
+               drain and still get every verdict, bit-identically *)
+            let finish c =
+              for i = half to n - 1 do
+                Client.send_line c (Protocol.format_row rows.(i))
+              done;
+              (match Protocol.parse_reply (Client.recv_line c) with
+               | Ok (`Ok _) -> ()
+               | _ -> Alcotest.fail "missing batch ack");
+              let got =
+                Array.init n (fun _ ->
+                    get (Protocol.parse_outcome (Client.recv_line c)))
+              in
+              check_outcomes "drained batch bit-identical" reference got;
+              Client.quit c
+            in
+            finish a;
+            finish b;
+            Thread.join waiter;
+            let waited = Unix.gettimeofday () -. t0 in
+            Alcotest.(check bool) "stopped well before the drain deadline"
+              true (waited < 8.0);
+            Alcotest.(check bool) "stopped" false (Server.running server)));
     Alcotest.test_case "SHUTDOWN latches and wait stops the server" `Quick
       (fun () ->
         let flow, _ = pooled 46 ~rows:3 in

@@ -6,10 +6,39 @@
 module Obs = Stc_obs.Registry
 module Trace = Stc_obs.Trace
 module Json = Stc_obs.Json
+module Clock = Stc_obs.Clock
 module Pool = Stc_process.Pool
 module Rng = Stc_numerics.Rng
 
 let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------ clock ----------------------------- *)
+
+let clock_tests =
+  [
+    Alcotest.test_case "monotonic stub works on this platform" `Quick
+      (fun () ->
+        (* every deadline in the tree assumes this; if the C stub ever
+           breaks, fail loudly here rather than hang a timeout *)
+        Alcotest.(check bool) "CLOCK_MONOTONIC available" true
+          Clock.monotonic);
+    Alcotest.test_case "now never goes backwards" `Quick (fun () ->
+        let prev = ref (Clock.now ()) in
+        for _ = 1 to 10_000 do
+          let t = Clock.now () in
+          if t < !prev then
+            Alcotest.failf "clock stepped back: %.9f -> %.9f" !prev t;
+          prev := t
+        done);
+    Alcotest.test_case "now advances across a real sleep" `Quick (fun () ->
+        let t0 = Clock.now () in
+        Thread.delay 0.02;
+        let dt = Clock.now () -. t0 in
+        Alcotest.(check bool)
+          (Printf.sprintf "measured %.4fs across a 20ms sleep" dt)
+          true
+          (dt >= 0.015 && dt < 10.0));
+  ]
 
 (* ----------------------------- counters --------------------------- *)
 
@@ -527,6 +556,7 @@ let concurrency_tests =
 
 let suites =
   [
+    ("obs clock", clock_tests);
     ("obs counters", counter_tests);
     ("obs histograms", histogram_tests);
     ("obs registry", registry_tests);
