@@ -5,7 +5,7 @@
 # replay the same stream.
 QA_SEED ?= 2005
 
-.PHONY: all build check test bench bench-json golden examples qa equiv enrich serve-smoke chaos ci clean
+.PHONY: all build check test bench bench-json golden examples qa equiv enrich learners serve-smoke chaos ci clean
 
 all: build
 
@@ -54,6 +54,16 @@ equiv:
 enrich:
 	dune exec test/test_main.exe -- test process.enrich
 
+# The learner-zoo differential gate (test_learner.ml): the MLP forward
+# pass vs a brute-force reference, stc-mlp-1/stc-flow-2 round trips,
+# determinism of training, the MI ranker vs its full-rescan reference,
+# and the promotion gate — every non-SVR learner must match or beat
+# SVR escape/yield loss on the op-amp and MEMS benches at equal
+# tolerance, and a deliberately bad learner must be rejected. Run by
+# name so a deregistered suite makes alcotest exit nonzero.
+learners:
+	dune exec test/test_main.exe -- test learner
+
 # End-to-end network serving smoke: a loopback server on an ephemeral
 # port, 100 devices from two concurrent clients (BATCH and pipelined
 # BIN paths), a hot reload under the traffic, METRICS in both formats
@@ -73,15 +83,16 @@ chaos:
 
 # Everything the CI workflow runs: build, tier-1 tests, the QA sweep
 # (qcheck properties + `stc selftest`) under the pinned seed, the SMO
-# equivalence gate and the enrichment determinism gate (each fails if
-# its suite is skipped), then the network serving smoke and the chaos
-# gate.
+# equivalence gate, the enrichment determinism gate and the learner-zoo
+# differential gate (each fails if its suite is skipped), then the
+# network serving smoke and the chaos gate.
 ci:
 	dune build @all
 	dune runtest
 	$(MAKE) qa
 	$(MAKE) equiv
 	$(MAKE) enrich
+	$(MAKE) learners
 	$(MAKE) serve-smoke
 	$(MAKE) chaos
 

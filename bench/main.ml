@@ -490,6 +490,56 @@ let ablation_learner () =
        ~header:[ "learner"; "tests dropped"; "escape"; "loss"; "guard" ]
        rows)
 
+(* The learner zoo under the differential promotion gate's conditions:
+   every learner × examination-order combination runs the same greedy
+   compaction at equal tolerance, so escape / yield loss / train
+   wall-time are directly comparable across families. *)
+let learner_zoo () =
+  section "Learner zoo: svr/mlp x greedy(functional)/mi at equal tolerance";
+  let train, test = Lazy.force opamp_data in
+  let learners =
+    [ ("svr", Stc.Learner.default_svr); ("mlp", Stc.Learner.default_mlp) ]
+  in
+  let orders =
+    [
+      ("greedy", Order.Given Experiment.opamp_examination_order);
+      ("mi", Order.By_mutual_information);
+    ]
+  in
+  let g name v = Obs.Gauge.set (Obs.gauge name) v in
+  let rows =
+    List.concat_map
+      (fun (lname, learner) ->
+        List.map
+          (fun (oname, order) ->
+            let config = { Experiment.opamp_config with Compaction.learner } in
+            let t0 = Unix.gettimeofday () in
+            let result = Compaction.greedy ~order config ~train ~test in
+            let wall = Unix.gettimeofday () -. t0 in
+            let counts = Compaction.evaluate_flow result.Compaction.flow test in
+            let dropped =
+              Array.length result.Compaction.flow.Compaction.dropped
+            in
+            let tag k = Printf.sprintf "stc_bench_zoo_%s_%s_%s" lname oname k in
+            g (tag "dropped") (float_of_int dropped);
+            g (tag "escape_pct") (Metrics.escape_pct counts);
+            g (tag "loss_pct") (Metrics.loss_pct counts);
+            g (tag "train_s") wall;
+            [
+              Printf.sprintf "%s / %s" lname oname;
+              string_of_int dropped;
+              Report.pct (Metrics.escape_pct counts);
+              Report.pct (Metrics.loss_pct counts);
+              Printf.sprintf "%.2f s" wall;
+            ])
+          orders)
+      learners
+  in
+  print_string
+    (Report.table
+       ~header:[ "learner / order"; "tests dropped"; "escape"; "loss"; "train" ]
+       rows)
+
 let ablation_grid () =
   section "Ablation: grid-based training-data compaction (Sec 4.3)";
   let train, test = Lazy.force mems_data in
@@ -1439,6 +1489,7 @@ let () =
   c ~name:"ablation_ordering" ~params:opamp_params ablation_ordering;
   s ~name:"svm_hotpath" ~params:opamp_params svm_hotpath;
   s ~name:"ablation_learner" ~params:opamp_params ablation_learner;
+  s ~name:"learner_zoo" ~params:opamp_params learner_zoo;
   s ~name:"ablation_regression_baseline" ~params:opamp_params ablation_regression;
   f ~name:"floor_serving" ~params:opamp_params floor_serving;
   c ~name:"resilience_overhead" ~params:opamp_params resilience;

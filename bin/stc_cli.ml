@@ -72,6 +72,7 @@ let order_conv =
     | "failures" -> Ok `Failures
     | "correlation" -> Ok `Correlation
     | "cluster" -> Ok `Cluster
+    | "mi" -> Ok `Mi
     | s -> Error (`Msg (Printf.sprintf "unknown order %S" s))
   in
   let print fmt o =
@@ -80,29 +81,39 @@ let order_conv =
        | `Functional -> "functional"
        | `Failures -> "failures"
        | `Correlation -> "correlation"
-       | `Cluster -> "cluster")
+       | `Cluster -> "cluster"
+       | `Mi -> "mi")
   in
   Arg.conv (parse, print)
 
 let order =
   Arg.(value & opt order_conv `Functional
        & info [ "order" ] ~docv:"STRATEGY"
-           ~doc:"Examination order: functional | failures | correlation | cluster.")
+           ~doc:"Examination order: functional | failures | correlation | \
+                 cluster | mi (mutual-information ranking, least \
+                 informative first).")
 
 let learner_conv =
   let parse = function
     | "svr" -> Ok `Svr
     | "svc" -> Ok `Svc
+    | "mlp" -> Ok `Mlp
     | s -> Error (`Msg (Printf.sprintf "unknown learner %S" s))
   in
   let print fmt l =
-    Format.pp_print_string fmt (match l with `Svr -> "svr" | `Svc -> "svc")
+    Format.pp_print_string fmt
+      (match l with `Svr -> "svr" | `Svc -> "svc" | `Mlp -> "mlp")
   in
   Arg.conv (parse, print)
 
 let learner =
   Arg.(value & opt learner_conv `Svr
-       & info [ "learner" ] ~docv:"L" ~doc:"Statistical model: svr | svc.")
+       & info [ "learner" ] ~docv:"L"
+           ~doc:"Statistical model: svr | svc | mlp. The MLP is admitted \
+                 by the differential promotion gate (test/test_learner.ml): \
+                 it matches or beats SVR escape and yield loss on the \
+                 op-amp and MEMS benches at equal tolerance. Flows trained \
+                 with mlp persist as stc-flow-2.")
 
 let grid_resolution =
   Arg.(value & opt (some int) None
@@ -256,6 +267,7 @@ let make_config (base : Compaction.config) ~tolerance ~guard ~learner
     match learner with
     | `Svr -> Compaction.Epsilon_svr { c = 10.0; epsilon = 0.1; gamma = None }
     | `Svc -> Compaction.C_svc { c = 10.0; gamma = None }
+    | `Mlp -> Stc.Learner.default_mlp
   in
   let grid =
     Option.map
@@ -339,6 +351,7 @@ let run_opamp seed n_train n_test tolerance guard order learner grid_resolution
     | `Failures -> Order.By_failure_count
     | `Correlation -> Order.By_correlation
     | `Cluster -> Order.By_cluster 0.8
+    | `Mi -> Order.By_mutual_information
   in
   let result = greedy_with_journal ~journal ~resume ~order config ~train ~test in
   let specs = Device_data.specs train in
@@ -510,6 +523,7 @@ let run_train seed n_train n_test tolerance guard order learner grid_resolution
     | `Failures -> Order.By_failure_count
     | `Correlation -> Order.By_correlation
     | `Cluster -> Order.By_cluster 0.8
+    | `Mi -> Order.By_mutual_information
   in
   let result = greedy_with_journal ~journal ~resume ~order config ~train ~test in
   let flow = result.Compaction.flow in
@@ -863,7 +877,7 @@ let run_flow_info file =
   let kept = flow.Compaction.kept in
   let dropped = flow.Compaction.dropped in
   Printf.printf "file           %s\n" file;
-  Printf.printf "format         %s\n" Flow_io.version;
+  Printf.printf "format         %s\n" (Flow_io.version_of_flow flow);
   Printf.printf "fingerprint    %s\n" fingerprint;
   Printf.printf "specs          %d\n" (Array.length specs);
   Printf.printf "kept           %d\n" (Array.length kept);

@@ -57,6 +57,10 @@ let train_decision learner features labels =
       let kernel = Kernel.rbf (resolve_gamma gamma features) in
       let model = Svc.train ~c ~kernel ~x:features ~y:labels () in
       fun v -> Svc.decision model v
+    | Compaction.Mlp mlp_config ->
+      let y = Array.map float_of_int labels in
+      let model = Stc_learn.Mlp.train ~config:mlp_config ~x:features ~y () in
+      fun v -> Stc_learn.Mlp.predict model v
   end
 
 let train ?(config = default_config) data ~dropped =

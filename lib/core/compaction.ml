@@ -1,6 +1,3 @@
-module Svr = Stc_svm.Svr
-module Svc = Stc_svm.Svc
-module Kernel = Stc_svm.Kernel
 module Obs = Stc_obs.Registry
 module Trace = Stc_obs.Trace
 
@@ -16,9 +13,10 @@ let h_train = Obs.histogram "stc_compaction_train_s"
 let h_validate = Obs.histogram "stc_compaction_validate_s"
 let g_last_error = Obs.gauge "stc_compaction_last_error"
 
-type learner =
+type learner = Learner.spec =
   | Epsilon_svr of { c : float; epsilon : float; gamma : float option }
   | C_svc of { c : float; gamma : float option }
+  | Mlp of Stc_learn.Mlp.config
 
 type validation =
   | On_test_data
@@ -78,33 +76,11 @@ let complement ~k dropped =
   done;
   Array.of_list !kept
 
-let resolve_gamma gamma features =
-  match gamma with Some g -> g | None -> Kernel.median_gamma features
-
 (* Train one ±1 classifier on (features, labels), returned with its
    model data so flows can be serialised. Degenerate one-class inputs
-   yield a constant predictor. *)
+   yield a constant predictor. Delegates to the LEARNER contract. *)
 let train_classifier ?warm learner features labels =
-  let n = Array.length labels in
-  assert (n > 0);
-  let all_same =
-    let first = labels.(0) in
-    Array.for_all (fun l -> l = first) labels
-  in
-  if all_same then Guard_band.constant labels.(0)
-  else begin
-    match learner with
-    | Epsilon_svr { c; epsilon; gamma } ->
-      let kernel = Kernel.rbf (resolve_gamma gamma features) in
-      let y = Array.map float_of_int labels in
-      Guard_band.Svr (Svr.train ~c ~epsilon ~kernel ?warm ~x:features ~y ())
-    | C_svc { c; gamma } ->
-      (* no warm start for C-SVC: the labels enter the dual's equality
-         constraint, so a previous solution is not feasible for the
-         next candidate's problem *)
-      let kernel = Kernel.rbf (resolve_gamma gamma features) in
-      Guard_band.Svc (Svc.train ~c ~kernel ~x:features ~y:labels ())
-  end
+  Learner.train ?warm learner ~features ~labels
 
 let maybe_grid config features labels =
   match config.grid with
@@ -286,7 +262,14 @@ let journal_fingerprint config ~train ~test ~order =
    | C_svc { c; gamma } ->
      adds "svc";
      addf c;
-     (match gamma with None -> adds "auto" | Some g -> addf g));
+     (match gamma with None -> adds "auto" | Some g -> addf g)
+   | Mlp m ->
+     adds "mlp";
+     addi m.Stc_learn.Mlp.hidden;
+     addi m.Stc_learn.Mlp.epochs;
+     addf m.Stc_learn.Mlp.rate;
+     addf m.Stc_learn.Mlp.momentum;
+     addi m.Stc_learn.Mlp.seed);
   addf config.tolerance;
   addf config.guard_fraction;
   (match config.grid with
@@ -345,11 +328,7 @@ let greedy_resumable ?(order = Order.By_failure_count) ?(eval_each = false)
      on the accept/reject decisions — which the equivalence suite pins
      to be warm/cold-identical. *)
   let warm =
-    if config.warm_start then
-      match config.learner with
-      | Epsilon_svr _ -> Some (Svr.warm_state ())
-      | C_svc _ -> None
-    else None
+    if config.warm_start then Learner.warm_state config.learner else None
   in
   let dropped = ref [] in
   let steps = ref [] in
@@ -374,7 +353,7 @@ let greedy_resumable ?(order = Order.By_failure_count) ?(eval_each = false)
             (fun () ->
               let trial = Array.of_list (List.rev (candidate :: !dropped)) in
               let kept = complement ~k trial in
-              let warm_before = Option.map Svr.warm_checkpoint warm in
+              let warm_before = Option.map Learner.checkpoint warm in
               let nominal =
                 Trace.with_span "compaction.train" (fun () ->
                     Obs.Histogram.time h_train (fun () ->
@@ -406,7 +385,7 @@ let greedy_resumable ?(order = Order.By_failure_count) ?(eval_each = false)
               (* rejected candidates don't advance the warm state *)
               if not accepted then
                 (match (warm, warm_before) with
-                | Some w, Some s -> Svr.warm_rollback w s
+                | Some w, Some s -> Learner.rollback w s
                 | _ -> ());
               Obs.Counter.incr m_candidates;
               Obs.Counter.incr (if accepted then m_accepted else m_rejected);

@@ -9,12 +9,16 @@
     The final production flow measures only the kept specifications and
     consults a guard-banded model pair for the dropped ones. *)
 
-type learner =
+type learner = Learner.spec =
   | Epsilon_svr of { c : float; epsilon : float; gamma : float option }
       (** the paper's ε-SVM: regression on ±1 targets, classify by
           sign; [gamma = None] uses 1/dim *)
   | C_svc of { c : float; gamma : float option }
       (** standard soft-margin classification, for ablation *)
+  | Mlp of Stc_learn.Mlp.config
+      (** pure-OCaml one-hidden-layer perceptron; training is
+          deterministic from the config seed. Promoted via the
+          [Stc_qa.Oracle.learner_promotes] differential gate *)
 
 type validation =
   | On_test_data   (** the paper's protocol: e_p measured on test data *)

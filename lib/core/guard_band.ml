@@ -8,6 +8,7 @@ type model =
   | Constant of int
   | Svr of Stc_svm.Svr.model
   | Svc of Stc_svm.Svc.model
+  | Mlp of Stc_learn.Mlp.model
   | Opaque of classifier
 
 type t = {
@@ -24,6 +25,7 @@ let predict m =
   | Constant c -> fun _ -> c
   | Svr svr -> Stc_svm.Svr.classify svr
   | Svc svc -> Stc_svm.Svc.predict svc
+  | Mlp mlp -> Stc_learn.Mlp.classify mlp
   | Opaque f -> f
 
 let of_models ~tight ~loose = { tight; loose }

@@ -19,6 +19,9 @@ type model =
   | Constant of int           (** degenerate one-class training data *)
   | Svr of Stc_svm.Svr.model  (** the paper's ε-SVM, classified by sign *)
   | Svc of Stc_svm.Svc.model
+  | Mlp of Stc_learn.Mlp.model
+      (** one-hidden-layer perceptron ({!Stc_learn.Mlp}), classified by
+          sign; serialises only in [stc-flow-2] containers *)
   | Opaque of classifier
 
 type t

@@ -5,6 +5,7 @@ type strategy =
   | By_failure_count
   | By_correlation
   | By_cluster of float
+  | By_mutual_information
 
 let failure_counts data =
   let k = Device_data.n_specs data in
@@ -29,6 +30,23 @@ let correlation_matrix data =
       Array.init k (fun b ->
           if a = b then 1.0
           else Float.abs (Stats.correlation columns.(a) columns.(b))))
+
+let mutual_information ?bins data =
+  let k = Device_data.n_specs data in
+  let n = Device_data.n_instances data in
+  if n = 0 then Array.make k 0.0
+  else begin
+    let specs = Device_data.specs data in
+    let labels =
+      Array.init n (fun i ->
+          if Device_data.passes_all data ~instance:i then 1 else -1)
+    in
+    let columns =
+      Array.init k (fun j ->
+          Array.map (Spec.normalize specs.(j)) (Device_data.spec_column data j))
+    in
+    Stc_learn.Mi.scores ?bins ~labels columns
+  end
 
 let check_permutation k order =
   if Array.length order <> k then
@@ -90,6 +108,11 @@ let compute strategy data =
     in
     (* most-correlated first: descending, so negate *)
     sorted_indices k (fun j -> -.best_partner j)
+  | By_mutual_information ->
+    (* least informative about the overall verdict first: those specs
+       are the cheapest to make implicit *)
+    let scores = mutual_information data in
+    sorted_indices k (fun j -> scores.(j))
   | By_cluster threshold ->
     let failures = failure_counts data in
     let groups = clusters data ~threshold in

@@ -18,6 +18,11 @@ type strategy =
           spec except a representative (the one rejecting the most
           devices, i.e. the most informative) is examined first, so the
           cluster's information survives in the representative *)
+  | By_mutual_information
+      (** learned drop order (the arXiv 2010.15240 direction): examine
+          specs carrying the least histogram mutual information about
+          the overall pass/fail verdict first ({!Stc_learn.Mi}) — their
+          outcome is the most predictable from the rest *)
 
 val compute : strategy -> Device_data.t -> int array
 (** Returns a permutation of the spec indices. Raises
@@ -32,3 +37,8 @@ val correlation_matrix : Device_data.t -> float array array
 val clusters : Device_data.t -> threshold:float -> int list list
 (** Single-linkage clusters under |correlation| ≥ threshold, each
     sorted ascending, largest cluster first. *)
+
+val mutual_information : ?bins:int -> Device_data.t -> float array
+(** Per-spec {!Stc_learn.Mi} score (nats) between the normalised spec
+    column and the overall pass/fail verdict; zeros on an empty
+    population. [bins] defaults to {!Stc_learn.Mi.default_bins}. *)

@@ -6,6 +6,21 @@ module Model_text = Stc.Model_text
 open Stc.Textio
 
 let version = "stc-flow-1"
+let version2 = "stc-flow-2"
+
+(* A flow needs the v2 container exactly when some band model belongs
+   to a family stc-flow-1 never carried (today: the MLP). Everything
+   else keeps writing v1 bytes, so pre-existing SVR/SVC flows — and
+   their fingerprints — are untouched by the format bump. *)
+let needs_v2 (flow : Compaction.flow) =
+  match flow.Compaction.band with
+  | None -> false
+  | Some band ->
+    let is_mlp = function Guard_band.Mlp _ -> true | _ -> false in
+    is_mlp (Guard_band.tight_model band)
+    || is_mlp (Guard_band.loose_model band)
+
+let version_of_flow flow = if needs_v2 flow then version2 else version
 
 (* ------------------------------ writing --------------------------- *)
 
@@ -16,7 +31,7 @@ let model_to_text m =
 
 let to_string (flow : Compaction.flow) =
   let buffer = Buffer.create 4096 in
-  Buffer.add_string buffer version;
+  Buffer.add_string buffer (version_of_flow flow);
   Buffer.add_char buffer '\n';
   Buffer.add_string buffer
     (Printf.sprintf "guard_fraction %s\n" (fp flow.Compaction.guard_fraction));
@@ -62,15 +77,17 @@ let to_string (flow : Compaction.flow) =
 let of_string text =
   let cur = cursor_of_string text in
   let* header = next_line cur in
-  if header <> version then
-    if
-      String.length header >= 9 && String.sub header 0 9 = "stc-flow-"
+  let* model_families =
+    if header = version then Ok Stc.Model_text.legacy_families
+    else if header = version2 then Ok Stc.Model_text.all_families
+    else if String.length header >= 9 && String.sub header 0 9 = "stc-flow-"
     then
       fail cur
-        (Printf.sprintf "unsupported flow version %S (this build reads %S)"
-           header version)
+        (Printf.sprintf
+           "unsupported flow version %S (this build reads %S and %S)" header
+           version version2)
     else fail cur (Printf.sprintf "expected %S header, got %S" version header)
-  else
+  in
     let* guard_fraction = expect_keyword cur "guard_fraction" in
     let* guard_fraction = parse_float cur "guard_fraction" guard_fraction in
     let* () =
@@ -138,11 +155,11 @@ let of_string text =
         match band_line with
         | "band none" -> Ok None
         | "band single" ->
-          let* m = Model_text.parse cur in
+          let* m = Model_text.parse ~families:model_families cur in
           Ok (Some (Guard_band.single_model m))
         | "band pair" ->
-          let* tight = Model_text.parse cur in
-          let* loose = Model_text.parse cur in
+          let* tight = Model_text.parse ~families:model_families cur in
+          let* loose = Model_text.parse ~families:model_families cur in
           Ok (Some (Guard_band.of_models ~tight ~loose))
         | _ -> fail cur "expected band line (none | single | pair)"
       in

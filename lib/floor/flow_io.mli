@@ -12,15 +12,29 @@
     yield [Error]. *)
 
 val version : string
-(** The header tag, ["stc-flow-1"]. *)
+(** The legacy header tag, ["stc-flow-1"] — SVR/SVC/constant bands
+    only. *)
+
+val version2 : string
+(** The multi-model-family header tag, ["stc-flow-2"]: same container
+    layout, but bands may additionally hold {!Stc.Guard_band.Mlp}
+    models. *)
+
+val version_of_flow : Stc.Compaction.flow -> string
+(** The header {!to_string} will write for this flow: {!version2} iff
+    a band model needs it (MLP family), {!version} otherwise — so
+    flows expressible in the legacy format keep their exact legacy
+    bytes and fingerprints. *)
 
 val to_string : Stc.Compaction.flow -> (string, string) result
 
 val of_string : string -> (Stc.Compaction.flow, string) result
-(** Errors are descriptive and ["line %d"]-prefixed: a header from a
-    newer writer reports ["unsupported flow version %S"], a file cut
-    short mid-record reports that the flow text is truncated at the
-    line where input ran out, non-finite floats (which
+(** Reads both {!version} and {!version2} headers. Errors are
+    descriptive and ["line %d"]-prefixed: a header from a newer writer
+    reports ["unsupported flow version %S"], an MLP model under a
+    legacy [stc-flow-1] header is rejected at its model line, a file
+    cut short mid-record reports that the flow text is truncated at
+    the line where input ran out, non-finite floats (which
     [float_of_string] would accept) are rejected, [guard_fraction]
     must lie in [[0, 1)], and the kept/dropped index lists must
     partition the spec indices. *)

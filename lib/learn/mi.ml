@@ -1,0 +1,66 @@
+let default_bins = 8
+
+let bin_of ~bins ~lo ~hi v =
+  if hi <= lo then 0
+  else
+    let b = int_of_float (float_of_int bins *. ((v -. lo) /. (hi -. lo))) in
+    if b < 0 then 0 else if b >= bins then bins - 1 else b
+
+let score ?(bins = default_bins) ~labels values =
+  let n = Array.length values in
+  if bins < 1 then invalid_arg "Mi.score: bins must be >= 1";
+  if n = 0 then invalid_arg "Mi.score: empty input";
+  if Array.length labels <> n then invalid_arg "Mi.score: length mismatch";
+  Array.iter
+    (fun v ->
+      if not (Float.is_finite v) then
+        invalid_arg "Mi.score: non-finite value")
+    values;
+  let lo = Array.fold_left min values.(0) values in
+  let hi = Array.fold_left max values.(0) values in
+  (* Integer joint counts c.(bin).(label) with label 0 = fail, 1 = pass:
+     everything downstream is exact integer arithmetic divided once at
+     the end, so the result cannot depend on sample order. *)
+  let joint = Array.make_matrix bins 2 0 in
+  for i = 0 to n - 1 do
+    let b = bin_of ~bins ~lo ~hi values.(i) in
+    let l = if labels.(i) > 0 then 1 else 0 in
+    joint.(b).(l) <- joint.(b).(l) + 1
+  done;
+  let label_tot = Array.make 2 0 in
+  let bin_tot = Array.make bins 0 in
+  for b = 0 to bins - 1 do
+    for l = 0 to 1 do
+      label_tot.(l) <- label_tot.(l) + joint.(b).(l);
+      bin_tot.(b) <- bin_tot.(b) + joint.(b).(l)
+    done
+  done;
+  let fn = float_of_int n in
+  let mi = ref 0.0 in
+  for b = 0 to bins - 1 do
+    for l = 0 to 1 do
+      let c = joint.(b).(l) in
+      if c > 0 then begin
+        let p_bl = float_of_int c /. fn in
+        let p_b = float_of_int bin_tot.(b) /. fn in
+        let p_l = float_of_int label_tot.(l) /. fn in
+        mi := !mi +. (p_bl *. log (p_bl /. (p_b *. p_l)))
+      end
+    done
+  done;
+  (* Clamp the tiny negative rounding residue a pure-counts MI can
+     produce when a column is (near-)independent of the label. *)
+  if !mi < 0.0 then 0.0 else !mi
+
+let scores ?bins ~labels columns =
+  Array.map (fun values -> score ?bins ~labels values) columns
+
+let rank ?bins ~labels columns =
+  let s = scores ?bins ~labels columns in
+  let idx = Array.init (Array.length s) (fun i -> i) in
+  Array.stable_sort
+    (fun a b ->
+      let c = Float.compare s.(a) s.(b) in
+      if c <> 0 then c else Stdlib.compare a b)
+    idx;
+  idx

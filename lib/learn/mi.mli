@@ -1,0 +1,29 @@
+(** Histogram mutual information between a real-valued feature column
+    and a binary pass/fail label — the 2010.15240 direction: score each
+    spec by how much information its measurement carries about the
+    overall verdict, and drop the least informative specs first.
+
+    Columns are discretised into [bins] equal-width cells over the
+    column's own [min, max] range; MI is then computed {e purely from
+    integer joint counts}, in nats. Because the counts are integers and
+    the summation order is fixed by bin index, the score is
+    bit-for-bit invariant under any permutation that is applied to
+    values and labels together. A constant column (or a constant label)
+    has zero mutual information by construction. *)
+
+val default_bins : int
+(** 8 *)
+
+val score : ?bins:int -> labels:int array -> float array -> float
+(** [score ~labels values] is the MI (nats) between the binned values
+    and the labels. Labels are interpreted by sign: [> 0] is pass,
+    everything else fail. Raises [Invalid_argument] on a length
+    mismatch, empty input, non-finite values, or [bins < 1]. *)
+
+val scores :
+  ?bins:int -> labels:int array -> float array array -> float array
+(** {!score} per column. *)
+
+val rank : ?bins:int -> labels:int array -> float array array -> int array
+(** Column indices sorted by ascending MI (least informative first —
+    the greedy drop order), ties broken by original index (stable). *)

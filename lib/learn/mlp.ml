@@ -1,0 +1,294 @@
+module Rng = Stc_numerics.Rng
+
+type config = {
+  hidden : int;
+  epochs : int;
+  rate : float;
+  momentum : float;
+  seed : int;
+}
+
+let default_config =
+  { hidden = 8; epochs = 300; rate = 0.05; momentum = 0.9; seed = 1905 }
+
+type model = {
+  hidden_w : float array array; (* hidden x dim *)
+  hidden_b : float array;       (* hidden *)
+  out_w : float array;          (* hidden *)
+  out_b : float;
+}
+
+type raw = {
+  raw_hidden_w : float array array;
+  raw_hidden_b : float array;
+  raw_out_w : float array;
+  raw_out_b : float;
+}
+
+let dim m = if Array.length m.hidden_w = 0 then 0 else Array.length m.hidden_w.(0)
+let n_hidden m = Array.length m.hidden_w
+
+let check_raw r =
+  let h = Array.length r.raw_hidden_w in
+  if h = 0 then invalid_arg "Mlp.of_raw: no hidden units";
+  let d = Array.length r.raw_hidden_w.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> d then invalid_arg "Mlp.of_raw: ragged hidden weights")
+    r.raw_hidden_w;
+  if Array.length r.raw_hidden_b <> h then
+    invalid_arg "Mlp.of_raw: hidden bias length mismatch";
+  if Array.length r.raw_out_w <> h then
+    invalid_arg "Mlp.of_raw: output weight length mismatch"
+
+let of_raw r =
+  check_raw r;
+  {
+    hidden_w = Array.map Array.copy r.raw_hidden_w;
+    hidden_b = Array.copy r.raw_hidden_b;
+    out_w = Array.copy r.raw_out_w;
+    out_b = r.raw_out_b;
+  }
+
+let to_raw m =
+  {
+    raw_hidden_w = Array.map Array.copy m.hidden_w;
+    raw_hidden_b = Array.copy m.hidden_b;
+    raw_out_w = Array.copy m.out_w;
+    raw_out_b = m.out_b;
+  }
+
+let forward m x =
+  let h = Array.length m.hidden_w in
+  let d = dim m in
+  if Array.length x <> d then
+    invalid_arg
+      (Printf.sprintf "Mlp.predict: expected %d features, got %d" d
+         (Array.length x));
+  let acc = ref m.out_b in
+  for i = 0 to h - 1 do
+    let wi = m.hidden_w.(i) in
+    let s = ref m.hidden_b.(i) in
+    for j = 0 to d - 1 do
+      s := !s +. (wi.(j) *. x.(j))
+    done;
+    acc := !acc +. (m.out_w.(i) *. tanh !s)
+  done;
+  !acc
+
+let predict = forward
+let classify m x = if forward m x >= 0.0 then 1 else -1
+
+let check_config c =
+  if c.hidden < 1 then invalid_arg "Mlp.train: hidden must be >= 1";
+  if c.epochs < 0 then invalid_arg "Mlp.train: epochs must be >= 0";
+  if not (c.rate > 0.0 && Float.is_finite c.rate) then
+    invalid_arg "Mlp.train: rate must be positive";
+  if not (c.momentum >= 0.0 && c.momentum < 1.0) then
+    invalid_arg "Mlp.train: momentum must be in [0, 1)"
+
+let train ?(config = default_config) ~x ~y () =
+  check_config config;
+  let n = Array.length x in
+  if n = 0 then invalid_arg "Mlp.train: empty training set";
+  if Array.length y <> n then invalid_arg "Mlp.train: x/y length mismatch";
+  let d = Array.length x.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> d then invalid_arg "Mlp.train: ragged rows")
+    x;
+  let h = config.hidden in
+  let rng = Rng.create config.seed in
+  let w_rng = Rng.split rng in
+  let order_rng = Rng.split rng in
+  (* Deterministic initialisation: uniform in +-1/sqrt(fan_in), drawn in
+     a fixed traversal order from the dedicated weight stream. *)
+  let s_in = 1.0 /. sqrt (float_of_int (max 1 d)) in
+  let s_hid = 1.0 /. sqrt (float_of_int h) in
+  let hidden_w =
+    Array.init h (fun _ ->
+        Array.init d (fun _ -> Rng.uniform w_rng (-.s_in) s_in))
+  in
+  let hidden_b = Array.make h 0.0 in
+  let out_w = Array.init h (fun _ -> Rng.uniform w_rng (-.s_hid) s_hid) in
+  let out_b = ref 0.0 in
+  (* Momentum velocities. *)
+  let v_hw = Array.init h (fun _ -> Array.make d 0.0) in
+  let v_hb = Array.make h 0.0 in
+  let v_ow = Array.make h 0.0 in
+  let v_ob = ref 0.0 in
+  let act = Array.make h 0.0 in
+  let order = Array.init n (fun i -> i) in
+  for _epoch = 1 to config.epochs do
+    Rng.shuffle order_rng order;
+    for k = 0 to n - 1 do
+      let xi = x.(order.(k)) and yi = y.(order.(k)) in
+      (* Forward, caching hidden activations. *)
+      let out = ref !out_b in
+      for i = 0 to h - 1 do
+        let wi = hidden_w.(i) in
+        let s = ref hidden_b.(i) in
+        for j = 0 to d - 1 do
+          s := !s +. (wi.(j) *. xi.(j))
+        done;
+        let a = tanh !s in
+        act.(i) <- a;
+        out := !out +. (out_w.(i) *. a)
+      done;
+      (* Backward: squared error (out - y)^2 / 2, linear output. *)
+      let err = !out -. yi in
+      for i = 0 to h - 1 do
+        let a = act.(i) in
+        (* Gradient wrt output weight uses the pre-update weight for the
+           hidden delta, so snapshot it first. *)
+        let ow = out_w.(i) in
+        let g_ow = err *. a in
+        v_ow.(i) <- (config.momentum *. v_ow.(i)) -. (config.rate *. g_ow);
+        out_w.(i) <- ow +. v_ow.(i);
+        let delta = err *. ow *. (1.0 -. (a *. a)) in
+        let wi = hidden_w.(i) and vi = v_hw.(i) in
+        for j = 0 to d - 1 do
+          let g = delta *. xi.(j) in
+          vi.(j) <- (config.momentum *. vi.(j)) -. (config.rate *. g);
+          wi.(j) <- wi.(j) +. vi.(j)
+        done;
+        v_hb.(i) <- (config.momentum *. v_hb.(i)) -. (config.rate *. delta);
+        hidden_b.(i) <- hidden_b.(i) +. v_hb.(i)
+      done;
+      v_ob := (config.momentum *. !v_ob) -. (config.rate *. err);
+      out_b := !out_b +. !v_ob
+    done
+  done;
+  { hidden_w; hidden_b; out_w; out_b = !out_b }
+
+(* --- Serialisation: flat line format, canonical and byte-stable. ---
+
+   stc-mlp-1
+   dim D
+   hidden H
+   unit <bias> <w1> ... <wD>     (H lines)
+   out <bias> <w1> ... <wH>
+*)
+
+let tag = "stc-mlp-1"
+let fp = Printf.sprintf "%.17g"
+
+let to_string m =
+  let buf = Buffer.create 256 in
+  let h = n_hidden m and d = dim m in
+  Buffer.add_string buf tag;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "dim %d\n" d);
+  Buffer.add_string buf (Printf.sprintf "hidden %d\n" h);
+  for i = 0 to h - 1 do
+    Buffer.add_string buf "unit ";
+    Buffer.add_string buf (fp m.hidden_b.(i));
+    for j = 0 to d - 1 do
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (fp m.hidden_w.(i).(j))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf "out ";
+  Buffer.add_string buf (fp m.out_b);
+  for i = 0 to h - 1 do
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (fp m.out_w.(i))
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+let parse_floats ~what expected fields =
+  if List.length fields <> expected then
+    Error
+      (Printf.sprintf "%s: expected %d values, got %d" what expected
+         (List.length fields))
+  else
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | f :: rest -> (
+          match float_of_string_opt f with
+          | Some v when Float.is_finite v -> go (v :: acc) rest
+          | _ -> Error (Printf.sprintf "%s: bad float %S" what f))
+    in
+    go [] fields
+
+let split_line line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse_int_header ~key line =
+  match split_line line with
+  | [ k; v ] when k = key -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> Ok n
+      | _ -> Error (Printf.sprintf "bad %s header %S" key line))
+  | _ -> Error (Printf.sprintf "expected %S header, got %S" key line)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  (* Drop a single trailing empty segment from the final newline. *)
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  match lines with
+  | [] -> Error "Mlp.of_string: empty input"
+  | got_tag :: rest ->
+      if got_tag <> tag then
+        Error (Printf.sprintf "expected %S header, got %S" tag got_tag)
+      else
+        let* d, rest =
+          match rest with
+          | l :: rest ->
+              let* d = parse_int_header ~key:"dim" l in
+              Ok (d, rest)
+          | [] -> Error "truncated: missing dim header"
+        in
+        let* h, rest =
+          match rest with
+          | l :: rest ->
+              let* h = parse_int_header ~key:"hidden" l in
+              Ok (h, rest)
+          | [] -> Error "truncated: missing hidden header"
+        in
+        if h < 1 then Error "hidden must be >= 1"
+        else
+          let* units, rest =
+            let rec go i acc rest =
+              if i = h then Ok (List.rev acc, rest)
+              else
+                match rest with
+                | [] -> Error "truncated: missing unit line"
+                | l :: rest -> (
+                    match split_line l with
+                    | "unit" :: fields ->
+                        let* vals =
+                          parse_floats ~what:"unit line" (d + 1) fields
+                        in
+                        go (i + 1) (vals :: acc) rest
+                    | _ -> Error (Printf.sprintf "expected unit line, got %S" l))
+            in
+            go 0 [] rest
+          in
+          let* out =
+            match rest with
+            | [ l ] -> (
+                match split_line l with
+                | "out" :: fields -> parse_floats ~what:"out line" (h + 1) fields
+                | _ -> Error (Printf.sprintf "expected out line, got %S" l))
+            | [] -> Error "truncated: missing out line"
+            | _ -> Error "trailing data after out line"
+          in
+          let units = Array.of_list units in
+          let hidden_w =
+            Array.map (fun vals -> Array.sub vals 1 d) units
+          in
+          let hidden_b = Array.map (fun vals -> vals.(0)) units in
+          Ok
+            {
+              hidden_w;
+              hidden_b;
+              out_w = Array.sub out 1 h;
+              out_b = out.(0);
+            }

@@ -77,7 +77,7 @@ let random_text_fault rng ~versions text =
 
 let random_flow_fault rng text =
   random_text_fault rng text
-    ~versions:[| "stc-flow-2"; "stc-flow-0"; "STC-FLOW-1"; "stc-floww-1"; "" |]
+    ~versions:[| "stc-flow-3"; "stc-flow-0"; "STC-FLOW-1"; "stc-floww-1"; "" |]
 
 let random_journal_fault rng text =
   random_text_fault rng text
@@ -133,8 +133,8 @@ let check_version_skew flow =
   | Error e -> errorf "flow does not serialise: %s" e
   | Ok text ->
     let* () =
-      match Flow_io.of_string (apply_flow_fault (Version_skew "stc-flow-2") text) with
-      | Ok _ -> Error "a stc-flow-2 file was accepted by the stc-flow-1 loader"
+      match Flow_io.of_string (apply_flow_fault (Version_skew "stc-flow-3") text) with
+      | Ok _ -> Error "a stc-flow-3 file was accepted by the stc-flow-1/2 loader"
       | Error e ->
         if contains ~sub:"unsupported flow version" e then Ok ()
         else errorf "version-skew error does not name the version: %S" e

@@ -5,6 +5,7 @@ module Guard_band = Stc.Guard_band
 module Kernel = Stc_svm.Kernel
 module Svr = Stc_svm.Svr
 module Svc = Stc_svm.Svc
+module Mlp = Stc_learn.Mlp
 module G = QCheck.Gen
 
 let ( let* ) = G.( >>= )
@@ -201,12 +202,27 @@ let trained_svr ~dim ~n =
   let yf = Array.map float_of_int y in
   G.return (c, Svr.train ~c ~epsilon:0.1 ~kernel:(Kernel.rbf gamma) ~x ~y:yf ())
 
+(* Synthesised raw weights rather than a training run: cheaper, and
+   covers weight patterns no SGD trajectory would reach. *)
+let mlp ~dim =
+  let* hidden = G.int_range 1 4 in
+  let row = G.array_size (G.return dim) (G.float_range (-1.5) 1.5) in
+  let* raw_hidden_w = G.array_size (G.return hidden) row in
+  let* raw_hidden_b =
+    G.array_size (G.return hidden) (G.float_range (-0.5) 0.5)
+  in
+  let* raw_out_w = G.array_size (G.return hidden) (G.float_range (-1.5) 1.5) in
+  let* raw_out_b = G.float_range (-0.5) 0.5 in
+  G.return
+    (Mlp.of_raw { Mlp.raw_hidden_w; raw_hidden_b; raw_out_w; raw_out_b })
+
 let model ~dim =
   G.frequency
     [
       (1, G.map (fun pos -> Guard_band.constant (if pos then 1 else -1)) G.bool);
       (3, G.map (fun m -> Guard_band.Svr m) (svr ~dim));
       (3, G.map (fun m -> Guard_band.Svc m) (svc ~dim));
+      (2, G.map (fun m -> Guard_band.Mlp m) (mlp ~dim));
     ]
 
 let band ~dim =
@@ -326,6 +342,20 @@ let shrink_model m yield =
                 r with
                 Svc.raw_sv = Array.sub r.Svc.raw_sv 0 (nsv / 2);
                 raw_coef = Array.sub r.Svc.raw_coef 0 (nsv / 2);
+              }))
+  | Guard_band.Mlp m ->
+    yield (Guard_band.Constant 1);
+    let r = Mlp.to_raw m in
+    let h = Array.length r.Mlp.raw_hidden_w in
+    if h > 1 then
+      yield
+        (Guard_band.Mlp
+           (Mlp.of_raw
+              {
+                Mlp.raw_hidden_w = Array.sub r.Mlp.raw_hidden_w 0 (h / 2);
+                raw_hidden_b = Array.sub r.Mlp.raw_hidden_b 0 (h / 2);
+                raw_out_w = Array.sub r.Mlp.raw_out_w 0 (h / 2);
+                raw_out_b = r.Mlp.raw_out_b;
               }))
 
 let shrink_flow (f : Compaction.flow) yield =

@@ -76,8 +76,13 @@ val trained_svr : dim:int -> n:int ->
 val trained_svc : dim:int -> n:int ->
   (float * Stc_svm.Svc.model) QCheck.Gen.t
 
+val mlp : dim:int -> Stc_learn.Mlp.model QCheck.Gen.t
+(** Structurally valid raw weights (1–4 hidden units) through
+    {!Stc_learn.Mlp.of_raw} — no SGD run, so weight patterns no
+    training trajectory reaches are covered too. *)
+
 val model : dim:int -> Stc.Guard_band.model QCheck.Gen.t
-(** [Constant], [Svr] or [Svc]; never [Opaque] (those cannot be
+(** [Constant], [Svr], [Svc] or [Mlp]; never [Opaque] (those cannot be
     serialised, and the serialisable subset is what the floor ships). *)
 
 val band : dim:int -> Stc.Guard_band.t QCheck.Gen.t

@@ -377,6 +377,102 @@ let csv_roundtrips ~specs ~rows =
              !mismatch
            end))
 
+(* ------------------------- learner oracles ------------------------ *)
+
+module Mlp = Stc_learn.Mlp
+module Mi = Stc_learn.Mi
+
+(* Independent forward pass recomputed from the raw weights with plain
+   iterators — shares only tanh with the production path. *)
+let mlp_forward_ref m x =
+  let r = Mlp.to_raw m in
+  let acc = ref r.Mlp.raw_out_b in
+  Array.iteri
+    (fun i wi ->
+      let s = ref r.Mlp.raw_hidden_b.(i) in
+      Array.iteri (fun j w -> s := !s +. (w *. x.(j))) wi;
+      acc := !acc +. (r.Mlp.raw_out_w.(i) *. tanh !s))
+    r.Mlp.raw_hidden_w;
+  !acc
+
+let mlp_agrees ?(tol = 1e-9) m x =
+  let ref_ = mlp_forward_ref m x in
+  agree ~what:"mlp" ~tol ~fast:(Mlp.predict m x) ~ref_
+    ~fast_sign:(Mlp.classify m x)
+    ~ref_sign:(if ref_ >= 0.0 then 1 else -1)
+
+let mlp_roundtrips m =
+  model_roundtrips ~what:"mlp" ~to_string:Mlp.to_string
+    ~of_string:Mlp.of_string m
+
+(* Reference MI: one full scan of the data per (bin, label) cell —
+   O(bins · n) scans instead of one counting pass — with the bin rule
+   and the p·log accumulation recomputed inline in the same order, so
+   the production score must match bit-for-bit. *)
+let mi_matches_ref ?(bins = Mi.default_bins) ~labels values =
+  let n = Array.length values in
+  if n = 0 || Array.length labels <> n then
+    errorf "mi_matches_ref: bad input shape"
+  else begin
+    let lo = Array.fold_left min values.(0) values in
+    let hi = Array.fold_left max values.(0) values in
+    let bin_of v =
+      if hi <= lo then 0
+      else begin
+        let b =
+          int_of_float (float_of_int bins *. ((v -. lo) /. (hi -. lo)))
+        in
+        if b < 0 then 0 else if b >= bins then bins - 1 else b
+      end
+    in
+    let count pred =
+      let c = ref 0 in
+      for i = 0 to n - 1 do
+        if pred i then incr c
+      done;
+      !c
+    in
+    let fn = float_of_int n in
+    let expected = ref 0.0 in
+    for b = 0 to bins - 1 do
+      for l = 0 to 1 do
+        let in_cell i =
+          bin_of values.(i) = b && (if labels.(i) > 0 then 1 else 0) = l
+        in
+        let c = count in_cell in
+        if c > 0 then begin
+          let cb = count (fun i -> bin_of values.(i) = b) in
+          let cl = count (fun i -> (if labels.(i) > 0 then 1 else 0) = l) in
+          let p_bl = float_of_int c /. fn in
+          let p_b = float_of_int cb /. fn in
+          let p_l = float_of_int cl /. fn in
+          expected := !expected +. (p_bl *. log (p_bl /. (p_b *. p_l)))
+        end
+      done
+    done;
+    let expected = if !expected < 0.0 then 0.0 else !expected in
+    let got = Mi.score ~bins ~labels values in
+    if Int64.bits_of_float got <> Int64.bits_of_float expected then
+      errorf "mi score %.17g but reference %.17g" got expected
+    else Ok ()
+  end
+
+(* MI is computed from integer counts, so applying one permutation to
+   values and labels together may not change a single bit. *)
+let mi_permutation_invariant ?bins ~permutation ~labels values =
+  let n = Array.length values in
+  if Array.length permutation <> n || Array.length labels <> n then
+    errorf "mi_permutation_invariant: bad input shape"
+  else begin
+    let pv = Array.map (fun i -> values.(i)) permutation in
+    let pl = Array.map (fun i -> labels.(i)) permutation in
+    let a = Mi.score ?bins ~labels values in
+    let b = Mi.score ?bins ~labels:pl pv in
+    if Int64.bits_of_float a <> Int64.bits_of_float b then
+      errorf "mi score %.17g changed to %.17g under permutation" a b
+    else Ok ()
+  end
+
 (* ------------------------ enrichment oracles ---------------------- *)
 
 module Montecarlo = Stc_process.Montecarlo
@@ -502,3 +598,85 @@ let enrichment_unbiased ?(tolerance_sigmas = 5.0) ~seed ~pilot ~n device
         (Float.abs (y_w -. y_u))
         tol n_eff
     else Ok ()
+
+(* -------------------- MLP training determinism -------------------- *)
+
+let mlp_deterministic ?(domain_counts = [ 1; 2; 4 ]) ?config ~seed ~n device
+    ~limits =
+  let train_once domains =
+    let d = Montecarlo.generate_parallel ~domains ~seed device ~n in
+    let x = d.Montecarlo.specs in
+    let y =
+      Array.map
+        (fun row -> if passes_limits limits row then 1.0 else -1.0)
+        d.Montecarlo.specs
+    in
+    Mlp.to_string (Mlp.train ?config ~x ~y ())
+  in
+  match domain_counts with
+  | [] -> Ok ()
+  | d0 :: rest ->
+    let reference = train_once d0 in
+    if train_once d0 <> reference then
+      errorf "two identical training runs produced different models"
+    else begin
+      let rec check = function
+        | [] -> Ok ()
+        | d :: rest ->
+          if train_once d <> reference then
+            errorf "training on %d domains differs from %d domains" d d0
+          else check rest
+      in
+      check rest
+    end
+
+(* ------------------------- promotion gate ------------------------- *)
+
+type promotion = {
+  baseline : string;
+  candidate : string;
+  baseline_dropped : int;
+  candidate_dropped : int;
+  baseline_escape_pct : float;
+  candidate_escape_pct : float;
+  baseline_loss_pct : float;
+  candidate_loss_pct : float;
+}
+
+let learner_promotes ?(slack_pct = 0.0) ?order ~candidate config ~train ~test =
+  let run learner =
+    let result =
+      Compaction.greedy ?order
+        { config with Compaction.learner }
+        ~train ~test
+    in
+    let flow = result.Compaction.flow in
+    (Array.length flow.Compaction.dropped, Compaction.evaluate_flow flow test)
+  in
+  let baseline_dropped, base = run config.Compaction.learner in
+  let candidate_dropped, cand = run candidate in
+  let p =
+    {
+      baseline = Stc.Learner.name config.Compaction.learner;
+      candidate = Stc.Learner.name candidate;
+      baseline_dropped;
+      candidate_dropped;
+      baseline_escape_pct = Stc.Metrics.escape_pct base;
+      candidate_escape_pct = Stc.Metrics.escape_pct cand;
+      baseline_loss_pct = Stc.Metrics.loss_pct base;
+      candidate_loss_pct = Stc.Metrics.loss_pct cand;
+    }
+  in
+  if baseline_dropped > 0 && candidate_dropped = 0 then
+    errorf
+      "%s compacts nothing where %s drops %d specs — a learner that never \
+       accepts a candidate trivially scores zero escape"
+      p.candidate p.baseline baseline_dropped
+  else if p.candidate_escape_pct > p.baseline_escape_pct +. slack_pct then
+    errorf "%s escape %.3f%% exceeds %s escape %.3f%% (+%.3f%% slack)"
+      p.candidate p.candidate_escape_pct p.baseline p.baseline_escape_pct
+      slack_pct
+  else if p.candidate_loss_pct > p.baseline_loss_pct +. slack_pct then
+    errorf "%s yield loss %.3f%% exceeds %s yield loss %.3f%% (+%.3f%% slack)"
+      p.candidate p.candidate_loss_pct p.baseline p.baseline_loss_pct slack_pct
+  else Ok p

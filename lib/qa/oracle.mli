@@ -102,6 +102,38 @@ val csv_roundtrips :
 (** Writes to a fresh temp file, reads back, demands bit-identical
     cells and header names; the temp file is always removed. *)
 
+(* ------------------------- learner oracles ------------------------ *)
+
+val mlp_forward_ref : Stc_learn.Mlp.model -> float array -> float
+(** Brute-force forward pass recomputed from
+    {!Stc_learn.Mlp.to_raw} with plain iterators. *)
+
+val mlp_agrees :
+  ?tol:float -> Stc_learn.Mlp.model -> float array -> (unit, string) result
+(** {!Stc_learn.Mlp.predict} matches {!mlp_forward_ref} within [tol]
+    (default 1e-9, magnitude-scaled), and the ±1 classification
+    matches whenever the output is not within [tol] of zero. *)
+
+val mlp_roundtrips : Stc_learn.Mlp.model -> (unit, string) result
+(** The [stc-mlp-1] canonicality law: print → parse → print is
+    byte-identical. *)
+
+val mi_matches_ref :
+  ?bins:int -> labels:int array -> float array -> (unit, string) result
+(** {!Stc_learn.Mi.score} must equal — IEEE bit pattern, no
+    tolerance — a reference that recounts every (bin, label) cell with
+    a separate full scan of the data. *)
+
+val mi_permutation_invariant :
+  ?bins:int ->
+  permutation:int array ->
+  labels:int array ->
+  float array ->
+  (unit, string) result
+(** Applying one permutation to values and labels together may not
+    change the score by a single bit (the score is a function of
+    integer counts only). *)
+
 (* ------------------------ enrichment oracles ---------------------- *)
 
 val enrichment_deterministic :
@@ -133,3 +165,47 @@ val enrichment_unbiased :
     enriched side's error computed at its Kish effective sample size —
     plus a 0.01 absolute slack. Also rejects any non-finite or
     non-positive importance weight. *)
+
+val mlp_deterministic :
+  ?domain_counts:int list ->
+  ?config:Stc_learn.Mlp.config ->
+  seed:int ->
+  n:int ->
+  Stc_process.Montecarlo.device ->
+  limits:(float * float) array ->
+  (unit, string) result
+(** Determinism-of-training contract for the MLP: generate the same
+    population at each domain count (default [1; 2; 4]), train, and
+    demand byte-identical serialised models — plus a repeat run at the
+    first count to catch hidden global state. *)
+
+(* ------------------------- promotion gate ------------------------- *)
+
+type promotion = {
+  baseline : string;
+  candidate : string;
+  baseline_dropped : int;
+  candidate_dropped : int;
+  baseline_escape_pct : float;
+  candidate_escape_pct : float;
+  baseline_loss_pct : float;
+  candidate_loss_pct : float;
+}
+
+val learner_promotes :
+  ?slack_pct:float ->
+  ?order:Stc.Order.strategy ->
+  candidate:Stc.Compaction.learner ->
+  Stc.Compaction.config ->
+  train:Stc.Device_data.t ->
+  test:Stc.Device_data.t ->
+  (promotion, string) result
+(** The differential promotion gate: runs the full greedy compaction
+    twice at equal tolerance — once with [config]'s learner (the
+    baseline, normally ε-SVR) and once with [candidate] — and admits
+    the candidate only if (a) it actually compacts whenever the
+    baseline does (a learner whose predictions never clear the
+    tolerance drops nothing and would otherwise score a trivial zero
+    escape), and (b) its test escape and yield-loss percentages do not
+    exceed the baseline's by more than [slack_pct] percentage points
+    (default 0). [Ok] carries both sides' numbers for reporting. *)

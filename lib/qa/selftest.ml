@@ -234,6 +234,43 @@ let run ?(seed = 2005) ?(flows = 1000) ?(rows_per_flow = 16)
          in
          Oracle.enrichment_unbiased ~seed ~pilot:60 ~n:400 device ~limits));
 
+  (* 6d. the learner zoo: MLP forward pass vs brute force, stc-mlp-1
+     round trips, determinism of training across domain counts, and
+     the MI ranker vs its full-rescan reference — including
+     permutation invariance (the score depends on counts only) *)
+  push
+    (section ~name:"learner oracle" ~cases:(Stdlib.max 20 (flows / 20))
+       (fun i ->
+         let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+         let dim = 1 + Rng.int rng 4 in
+         let mlp = Gen.mlp ~dim st in
+         let probe = Array.init dim (fun _ -> Rng.uniform rng (-2.0) 2.0) in
+         let* () = Oracle.mlp_agrees mlp probe in
+         let* () = Oracle.mlp_roundtrips mlp in
+         let n = 8 + Rng.int rng 48 in
+         let values = Array.init n (fun _ -> Rng.uniform rng (-2.0) 2.0) in
+         let labels =
+           Array.init n (fun j ->
+               if values.(j) > Rng.uniform rng (-1.0) 1.0 then 1 else -1)
+         in
+         let bins = 1 + Rng.int rng 12 in
+         let* () = Oracle.mi_matches_ref ~bins ~labels values in
+         let permutation = Array.init n (fun j -> j) in
+         Rng.shuffle rng permutation;
+         let* () =
+           Oracle.mi_permutation_invariant ~bins ~permutation ~labels values
+         in
+         if i >= 4 then Ok ()
+         else
+           (* the expensive contract — training determinism across 1/2/4
+              domains — on a handful of generated devices only *)
+           let device, limits = Gen.enrich_device st in
+           let config =
+             { Stc_learn.Mlp.default_config with Stc_learn.Mlp.epochs = 40 }
+           in
+           Oracle.mlp_deterministic ~config ~seed:(seed + (17 * i)) ~n:60
+             device ~limits));
+
   (* 7. observability: metric-exporter round trips and span nesting *)
   push
     (section ~name:"observability" ~cases:(Stdlib.max 20 (flows / 20))

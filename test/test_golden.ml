@@ -81,6 +81,46 @@ let mems_case ~label ~n_train ~n_test ~max_error ~min_saving =
       check_le "yield loss %" max_error (Metrics.loss_pct counts);
       check_ge "cost saving %" min_saving cost.Cost.saving_pct)
 
+(* --------------------- stc-flow-2 byte pin ------------------------ *)
+
+(* The first multi-model-family container: an op-amp flow trained with
+   the MLP learner must keep producing these exact bytes. The pin
+   covers the whole chain — MLP training determinism, the stc-mlp-1
+   body, Model_text embedding, and the stc-flow-2 container — so any
+   accidental format or arithmetic drift fails here by fingerprint. *)
+let flow2_fingerprint = "bc4fa8c4800083cf"
+
+let flow2_pin =
+  Alcotest.test_case "golden: stc-flow-2 op-amp flow bytes pinned" `Quick
+    (fun () ->
+      let train, test =
+        Experiment.generate_opamp ~seed:701 ~n_train:80 ~n_test:40 ()
+      in
+      let config =
+        {
+          Experiment.opamp_config with
+          Compaction.learner = Stc.Learner.default_mlp;
+        }
+      in
+      let result =
+        Compaction.greedy
+          ~order:(Order.Given Experiment.opamp_examination_order)
+          config ~train ~test
+      in
+      let text =
+        match Stc_floor.Flow_io.to_string result.Compaction.flow with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "flow does not serialise: %s" e
+      in
+      let header = String.sub text 0 (String.index text '\n') in
+      Alcotest.(check string) "container version" "stc-flow-2" header;
+      let fp =
+        match Stc_floor.Flow_io.fingerprint result.Compaction.flow with
+        | Ok fp -> fp
+        | Error e -> Alcotest.failf "flow does not fingerprint: %s" e
+      in
+      Alcotest.(check string) "flow fingerprint" flow2_fingerprint fp)
+
 (* ------------------------------ tiers ----------------------------- *)
 
 let smoke_tests =
@@ -89,6 +129,7 @@ let smoke_tests =
       ~n_test:80 ~min_dropped:3 ~max_escape:4.0 ~max_loss:4.0;
     mems_case ~label:"smoke: MEMS temperature tests eliminable" ~n_train:300
       ~n_test:300 ~max_error:1.5 ~min_saving:40.0;
+    flow2_pin;
   ]
 
 let paper_tests =

@@ -16,4 +16,4 @@ let () =
      @ Test_integration.suites
      @ Test_qa.suites @ Test_resilience.suites @ Test_net.suites
      @ Test_obs.suites @ Test_units.suites @ Test_svm_equiv.suites
-     @ Test_golden.suites)
+     @ Test_learner.suites @ Test_golden.suites)
